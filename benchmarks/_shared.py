@@ -1,0 +1,108 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures as a text table
+(written under ``benchmarks/out/``) and makes loose shape assertions —
+who wins, roughly by how much — rather than matching the paper's absolute
+numbers, which came from a physical Hadoop cluster.
+
+Scale is controlled by the ``RUSH_FULL_SCALE`` environment variable:
+
+* unset (default): a scaled-down workload (25 jobs, 8 containers, 4x
+  shorter tasks) that keeps the whole suite in CI territory;
+* set to ``1``: the paper's parameters — 100 jobs, 48 containers, mean
+  inter-arrival 130 s, 1-10 GB datasets.
+
+Simulation results are cached per (ratio, policy, seed) so Figure 4 and
+Figure 6 — which the paper derives from the same runs — share them here
+as well.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from pathlib import Path
+from typing import Dict, List
+
+from repro import (
+    EdfScheduler,
+    FairScheduler,
+    FifoScheduler,
+    RrhScheduler,
+    RushScheduler,
+    run_simulation,
+)
+from repro.cluster.metrics import SimulationResult
+from repro.workload import WorkloadConfig, WorkloadGenerator
+
+FULL_SCALE = os.environ.get("RUSH_FULL_SCALE", "") not in ("", "0")
+
+OUT_DIR = Path(__file__).parent / "out"
+
+#: The policies of Figures 4 and 6 (Fair is our extra baseline).
+POLICIES = ("FIFO", "EDF", "RRH", "RUSH")
+
+#: Budget-to-benchmark ratios the paper sweeps.
+BUDGET_RATIOS = (2.0, 1.5, 1.0)
+
+#: Seeds averaged per configuration.
+SEEDS = (0, 1, 2) if not FULL_SCALE else (0,)
+
+
+def experiment_config(budget_ratio: float) -> WorkloadConfig:
+    """The Section V-B workload at the active scale."""
+    if FULL_SCALE:
+        return WorkloadConfig(n_jobs=100, capacity=48,
+                              mean_interarrival=130.0,
+                              budget_ratio=budget_ratio)
+    return WorkloadConfig(n_jobs=25, capacity=8, mean_interarrival=170.0,
+                          budget_ratio=budget_ratio,
+                          size_gb_range=(0.5, 2.0), time_scale=0.25)
+
+
+def make_policy(name: str):
+    factories = {
+        "FIFO": FifoScheduler,
+        "EDF": EdfScheduler,
+        "Fair": FairScheduler,
+        "RRH": RrhScheduler,
+        "RUSH": RushScheduler,
+    }
+    return factories[name]()
+
+
+@lru_cache(maxsize=None)
+def run_policy(budget_ratio: float, policy: str, seed: int) -> SimulationResult:
+    """One cached simulation run (shared between Figure 4 and Figure 6)."""
+    config = experiment_config(budget_ratio)
+    specs = WorkloadGenerator(config, seed=seed).generate()
+    return run_simulation(specs, config.capacity, make_policy(policy))
+
+
+def run_ratio(budget_ratio: float) -> Dict[str, List[SimulationResult]]:
+    """All policies, all seeds, one budget ratio."""
+    return {policy: [run_policy(budget_ratio, policy, seed) for seed in SEEDS]
+            for policy in POLICIES}
+
+
+def pooled_latencies(results: List[SimulationResult]) -> List[float]:
+    """Sensitive+critical latencies pooled across seeds (Figure 4's series)."""
+    values: List[float] = []
+    for result in results:
+        values.extend(result.latencies("critical", "sensitive"))
+    return values
+
+
+def pooled_utilities(results: List[SimulationResult]) -> List[float]:
+    values: List[float] = []
+    for result in results:
+        values.extend(result.utilities())
+    return values
+
+
+def write_report(name: str, text: str) -> Path:
+    """Persist a figure's text rendering under benchmarks/out/."""
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    path = OUT_DIR / name
+    path.write_text(text + "\n", encoding="utf-8")
+    return path

@@ -1,0 +1,69 @@
+"""Ablation — Theorem 3's completion bound of the time-slot mapping.
+
+Theorem 3: under the staircase condition (12), the continuous time-slot
+mapping completes every job by ``T_i + R_i``.  This benchmark generates
+random *feasible* target sets, maps them, and reports the worst observed
+overshoot as a fraction of ``R_i`` — it must stay below 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.core.mapping import MappingJob, map_time_slots
+
+from _shared import FULL_SCALE, write_report
+
+TRIALS = 500 if FULL_SCALE else 150
+
+
+def feasible_instance(rng: np.random.Generator):
+    capacity = int(rng.integers(1, 8))
+    n_jobs = int(rng.integers(1, 10))
+    jobs = []
+    budget_used = 0.0
+    clock = 0
+    for i in range(n_jobs):
+        runtime = float(rng.uniform(0.5, 6.0))
+        tasks = int(rng.integers(1, 12))
+        demand = tasks * runtime
+        # grow the target until the staircase condition holds
+        budget_used += demand
+        clock = max(clock + int(rng.integers(0, 8)),
+                    int(np.ceil(budget_used / capacity)))
+        jobs.append(MappingJob(f"j{i}", demand, runtime, clock))
+    return capacity, jobs
+
+
+def worst_overshoot(trials: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    worst = 0.0
+    overflows = 0
+    for _ in range(trials):
+        capacity, jobs = feasible_instance(rng)
+        plan = map_time_slots(jobs, capacity)
+        overflows += len(plan.overflowed)
+        for job in jobs:
+            overshoot = (plan.completion(job.job_id)
+                         - job.target_completion) / job.runtime
+            worst = max(worst, overshoot)
+    return worst, overflows
+
+
+def test_theorem3_bound_holds(benchmark):
+    worst, overflows = benchmark.pedantic(
+        worst_overshoot, args=(TRIALS,), rounds=1, iterations=1)
+
+    report_table = format_table(
+        ["trials", "worst overshoot / R", "forced overflows"],
+        [[TRIALS, worst, overflows]], digits=4)
+    report = ("Ablation: empirical Theorem 3 bound — completion overshoot "
+              f"beyond T_i, in units of R_i\n\n{report_table}\n\n"
+              "Theorem 3 guarantees < 1.0 whenever condition (12) holds.")
+    print("\n" + report)
+    write_report("ablation_mapping_bound.txt", report)
+
+    assert overflows == 0, "feasible instances must never force-overflow"
+    assert worst < 1.0 + 1e-9, f"Theorem 3 violated: overshoot {worst} R"

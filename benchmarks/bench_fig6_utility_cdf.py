@@ -1,0 +1,50 @@
+"""Figure 6 — CDF of the jobs' achieved utilities.
+
+Paper setup: the same runs as Figure 4; for each budget ratio, the
+empirical CDF of all 100 jobs' utilities per scheduler.
+
+Paper result: RUSH shifts the whole CDF to the right (stochastically
+dominates), more pronouncedly as budgets tighten, and minimizes the
+fraction of jobs stuck at zero utility (at ratio 1.0 the baselines leave
+more than half the jobs at zero).
+
+This benchmark regenerates the CDF tables (``benchmarks/out/fig6_*.txt``)
+and asserts the dominance shape against FIFO and EDF at low-to-mid
+utility levels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import ecdf_at, format_cdf_table
+
+from _shared import BUDGET_RATIOS, pooled_utilities, run_ratio, write_report
+
+
+@pytest.mark.parametrize("ratio", BUDGET_RATIOS)
+def test_fig6_utility_cdf(benchmark, ratio):
+    results = benchmark.pedantic(run_ratio, args=(ratio,),
+                                 rounds=1, iterations=1)
+    series = {policy: pooled_utilities(results[policy]) for policy in results}
+
+    top = max(max(values) for values in series.values())
+    grid = [round(top * f, 3) for f in (0.0, 0.05, 0.1, 0.2, 0.35, 0.5,
+                                        0.75, 1.0)]
+    table = format_cdf_table(series, grid)
+    report = (f"Figure 6 (budget ratio {ratio}): CDF of job utilities "
+              f"(fraction of jobs with utility <= x)\n\n{table}\n\n"
+              "Lower rows = better (fewer low-utility jobs).")
+    print("\n" + report)
+    write_report(f"fig6_ratio{ratio:.1f}.txt", report)
+
+    # Shape: averaged over the low-to-mid utility range, RUSH's CDF sits
+    # at or below FIFO's and EDF's (right-shifted distribution).
+    probe = [top * f for f in (0.05, 0.1, 0.2, 0.35, 0.5)]
+    rush_mass = np.mean([ecdf_at(series["RUSH"], x) for x in probe])
+    for baseline in ("FIFO", "EDF"):
+        base_mass = np.mean([ecdf_at(series[baseline], x) for x in probe])
+        assert rush_mass <= base_mass + 0.02, (
+            f"RUSH low-utility mass {rush_mass:.3f} vs "
+            f"{baseline} {base_mass:.3f}")

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Robustness of the distribution estimation (the Figure 3 experiment).
+
+A job has 100 map tasks and 1 reduce task whose runtimes are drawn from
+N(60, 20^2) — the ground truth the scheduler does not know.  The Gaussian
+DE unit learns from the first ``n`` completed tasks, the WCDE layer
+inflates the estimate to the worst case within KL distance ``delta``, and
+we measure how often the resulting robust demand ``eta`` covers the job's
+actual remaining demand.  The paper finds that >= 35 samples and
+``delta >= 0.7`` are needed to clear the theta = 0.9 percentile.
+
+Run:  python examples/robustness_sweep.py [--reps R]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import GaussianEstimator, RushPlanner
+from repro.analysis import format_table
+
+TASK_MEAN, TASK_STD = 60.0, 20.0
+N_TASKS = 101
+THETA = 0.9
+
+
+def coverage(samples: int, delta: float, reps: int, seed: int) -> float:
+    """P(eta >= actual remaining demand) over ``reps`` fresh jobs."""
+    rng = np.random.default_rng(seed)
+    planner = RushPlanner(capacity=48, theta=THETA, delta=delta)
+    hits = 0
+    for _ in range(reps):
+        runtimes = rng.normal(TASK_MEAN, TASK_STD, size=N_TASKS).clip(min=1.0)
+        de = GaussianEstimator(min_samples=2)
+        de.observe_many(runtimes[:samples])
+        pending = N_TASKS - samples
+        estimate = de.estimate(pending_tasks=pending)
+        eta, _, _ = planner.robust_demand(estimate)
+        if eta >= float(runtimes[samples:].sum()):
+            hits += 1
+    return hits / reps
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--reps", type=int, default=60,
+                        help="repetitions per cell (paper: 100)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    sample_counts = [25, 35, 45, 55, 65, 75, 85, 95]
+    deltas = [0.1, 0.4, 0.7, 1.0, 1.3]
+    rows = []
+    for n in sample_counts:
+        row: list[object] = [n]
+        for delta in deltas:
+            row.append(coverage(n, delta, args.reps, args.seed + n))
+        rows.append(row)
+
+    print(f"P(eta covers the remaining demand), theta = {THETA}, "
+          f"{args.reps} repetitions per cell\n")
+    print(format_table(["#samples"] + [f"delta={d}" for d in deltas], rows))
+    print("\nReading: each cell should exceed theta = 0.9.  With few "
+          "samples no entropy threshold rescues the estimate; from ~35 "
+          "samples a threshold of 0.7 or more clears the bar, matching "
+          "Figure 3 of the paper.")
+
+
+if __name__ == "__main__":
+    main()

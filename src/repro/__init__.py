@@ -1,0 +1,187 @@
+"""RUSH: a RobUst ScHeduler for uncertain completion-times in shared clouds.
+
+A faithful, laptop-scale reproduction of *RUSH: A RobUst ScHeduler to
+Manage Uncertain Completion-Times in Shared Clouds* (ICDCS 2016).  The
+package provides:
+
+* :mod:`repro.core` — the paper's algorithms: the closed-form REM solver
+  (Algorithm 1), the WCDE bisection (Algorithm 2), onion peeling
+  (Algorithm 3), continuous time-slot mapping (Algorithm 4), the LP
+  baseline, and the end-to-end :class:`~repro.core.planner.RushPlanner`;
+* :mod:`repro.utility` — the job utility classes (piece-wise linear,
+  sigmoid, constant and extensions) with the configuration/XML interface;
+* :mod:`repro.estimation` — the distribution-estimator units (mean
+  impulse, Gaussian, empirical) and the PMF toolkit;
+* :mod:`repro.cluster` — a slotted YARN-like cluster simulator with
+  homogeneous containers and the scheduling-event feedback cycle;
+* :mod:`repro.schedulers` — RUSH plus the FIFO, EDF, RRH and Fair
+  baselines;
+* :mod:`repro.workload` — PUMA-like templates, the Section V-B workload
+  generator and a trace format;
+* :mod:`repro.analysis` — boxplot/CDF statistics and text rendering for
+  regenerating the paper's figures.
+
+Quickstart::
+
+    from repro import (GaussianEstimator, PlannerJob, RushPlanner,
+                       SigmoidUtility)
+
+    de = GaussianEstimator(prior_mean=60, prior_std=20)
+    de.observe_many([55, 62, 71, 58])
+    job = PlannerJob("analytics", SigmoidUtility(budget=600, priority=5),
+                     de.estimate(pending_tasks=40))
+    plan = RushPlanner(capacity=48, theta=0.9, delta=0.7).plan([job])
+    print(plan.jobs["analytics"].target_completion)
+"""
+
+from repro.errors import (
+    ConfigurationError,
+    DistributionError,
+    EstimationError,
+    InfeasiblePlanError,
+    ReproError,
+    SimulationError,
+)
+from repro.core import (
+    ContainerPlan,
+    JobPlan,
+    MappingJob,
+    OnionJob,
+    OnionResult,
+    PlannerJob,
+    RushPlanner,
+    SchedulePlan,
+    WcdeResult,
+    map_time_slots,
+    solve_onion,
+    solve_rem,
+    solve_tas_lp,
+    solve_wcde,
+    worst_case_demand,
+)
+from repro.analysis.experiment import Experiment, ExperimentResults
+from repro.estimation import (
+    DemandEstimate,
+    DistributionEstimator,
+    EmpiricalEstimator,
+    EwmaGaussianEstimator,
+    FailureAwareEstimator,
+    GaussianEstimator,
+    MeanTimeEstimator,
+    Pmf,
+    kl_divergence,
+)
+from repro.cluster import (
+    ClusterSimulator,
+    JobRecord,
+    JobSpec,
+    SimulationResult,
+    run_simulation,
+)
+from repro.schedulers import (
+    CapacityScheduler,
+    EdfScheduler,
+    FairScheduler,
+    FifoScheduler,
+    RrhScheduler,
+    RushScheduler,
+    Scheduler,
+    SpeculativeScheduler,
+)
+from repro.ui import render_cluster_text, render_status_html, render_status_text
+from repro.utility import (
+    ConstantUtility,
+    LinearUtility,
+    PiecewiseUtility,
+    SigmoidUtility,
+    StepUtility,
+    UtilityFunction,
+    utility_from_config,
+    utility_from_xml,
+)
+from repro.workload import (
+    PUMA_TEMPLATES,
+    JobTemplate,
+    WorkloadConfig,
+    WorkloadGenerator,
+    generate_workload,
+    load_trace,
+    save_trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "DistributionError",
+    "EstimationError",
+    "InfeasiblePlanError",
+    "SimulationError",
+    # core
+    "solve_rem",
+    "solve_wcde",
+    "worst_case_demand",
+    "WcdeResult",
+    "OnionJob",
+    "OnionResult",
+    "solve_onion",
+    "solve_tas_lp",
+    "MappingJob",
+    "ContainerPlan",
+    "map_time_slots",
+    "PlannerJob",
+    "JobPlan",
+    "SchedulePlan",
+    "RushPlanner",
+    # estimation
+    "Pmf",
+    "kl_divergence",
+    "DemandEstimate",
+    "DistributionEstimator",
+    "MeanTimeEstimator",
+    "GaussianEstimator",
+    "EmpiricalEstimator",
+    "EwmaGaussianEstimator",
+    "FailureAwareEstimator",
+    # utility
+    "UtilityFunction",
+    "LinearUtility",
+    "SigmoidUtility",
+    "ConstantUtility",
+    "StepUtility",
+    "PiecewiseUtility",
+    "utility_from_config",
+    "utility_from_xml",
+    # cluster
+    "JobSpec",
+    "ClusterSimulator",
+    "run_simulation",
+    "JobRecord",
+    "SimulationResult",
+    # schedulers
+    "Scheduler",
+    "RushScheduler",
+    "FifoScheduler",
+    "EdfScheduler",
+    "RrhScheduler",
+    "FairScheduler",
+    "CapacityScheduler",
+    "SpeculativeScheduler",
+    # analysis / ui
+    "Experiment",
+    "ExperimentResults",
+    "render_status_text",
+    "render_status_html",
+    "render_cluster_text",
+    # workload
+    "JobTemplate",
+    "PUMA_TEMPLATES",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "generate_workload",
+    "save_trace",
+    "load_trace",
+]

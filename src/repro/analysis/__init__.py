@@ -1,0 +1,35 @@
+"""Analysis toolkit: figure-shaped statistics and text rendering."""
+
+from repro.analysis.experiment import Experiment, ExperimentResults
+from repro.analysis.gantt import job_legend, render_gantt
+from repro.analysis.report import (
+    format_boxplots,
+    format_cdf_table,
+    format_number,
+    format_table,
+)
+from repro.analysis.stats import (
+    BoxplotStats,
+    Summary,
+    boxplot_stats,
+    ecdf,
+    ecdf_at,
+    summarize,
+)
+
+__all__ = [
+    "BoxplotStats",
+    "boxplot_stats",
+    "ecdf",
+    "ecdf_at",
+    "Summary",
+    "summarize",
+    "format_table",
+    "format_boxplots",
+    "format_cdf_table",
+    "format_number",
+    "render_gantt",
+    "job_legend",
+    "Experiment",
+    "ExperimentResults",
+]

@@ -1,0 +1,125 @@
+"""Experiment runner: policy × seed matrices over one workload config.
+
+The paper's evaluation repeatedly runs the same generated workload under
+several schedulers and aggregates per-class latencies and utilities.
+This module packages that loop so examples, benchmarks and downstream
+users do not re-implement it: build an :class:`Experiment`, call
+:meth:`Experiment.run`, and query the pooled metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+
+from repro.analysis.report import format_table
+from repro.analysis.stats import boxplot_stats
+from repro.cluster.metrics import SimulationResult, lexicographic_compare
+from repro.cluster.simulator import run_simulation
+from repro.errors import ConfigurationError
+from repro.schedulers.base import Scheduler
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+
+__all__ = ["Experiment", "ExperimentResults"]
+
+SchedulerFactory = Callable[[], Scheduler]
+
+
+@dataclass
+class ExperimentResults:
+    """Results of one policy × seed matrix."""
+
+    config: WorkloadConfig
+    runs: Dict[Tuple[str, int], SimulationResult] = field(default_factory=dict)
+
+    @property
+    def policies(self) -> List[str]:
+        return sorted({policy for policy, _ in self.runs})
+
+    @property
+    def seeds(self) -> List[int]:
+        return sorted({seed for _, seed in self.runs})
+
+    def results_for(self, policy: str) -> List[SimulationResult]:
+        matches = [result for (name, _), result in sorted(self.runs.items())
+                   if name == policy]
+        if not matches:
+            raise ConfigurationError(f"no runs recorded for policy {policy!r}")
+        return matches
+
+    def latencies(self, policy: str, *classes: str) -> List[float]:
+        """Latency samples pooled over seeds, optionally class-filtered."""
+        values: List[float] = []
+        for result in self.results_for(policy):
+            values.extend(result.latencies(*classes))
+        return values
+
+    def utilities(self, policy: str, *classes: str) -> List[float]:
+        values: List[float] = []
+        for result in self.results_for(policy):
+            values.extend(result.utilities(*classes))
+        return values
+
+    def lexicographic_ranking(self) -> List[str]:
+        """Policies sorted best-first under the paper's RS objective."""
+        import functools
+
+        vectors = {policy: sorted(self.utilities(policy))
+                   for policy in self.policies}
+        return sorted(vectors,
+                      key=functools.cmp_to_key(
+                          lambda a, b: lexicographic_compare(vectors[a],
+                                                             vectors[b])),
+                      reverse=True)
+
+    def summary_table(self, *latency_classes: str) -> str:
+        """One row per policy: latency quartiles + utility aggregates."""
+        classes = latency_classes or ("critical", "sensitive")
+        rows = []
+        for policy in self.policies:
+            stats = boxplot_stats(self.latencies(policy, *classes))
+            utilities = self.utilities(policy)
+            zero = sum(1 for u in utilities if u <= 1e-9) / len(utilities)
+            rows.append([policy, stats.median, stats.q3, stats.whisker_high,
+                         sum(utilities), zero])
+        return format_table(
+            ["policy", "lat median", "lat q3", "lat whisk-hi",
+             "total utility", "zero-utility frac"], rows)
+
+
+@dataclass
+class Experiment:
+    """A reproducible policy × seed matrix over one workload config.
+
+    Parameters
+    ----------
+    config:
+        The workload to generate (identically, per seed) for every policy.
+    policies:
+        Mapping of display name to a zero-argument scheduler factory —
+        factories, not instances, because a scheduler binds to exactly
+        one simulator.
+    seeds:
+        Workload seeds; results are pooled across them.
+    max_slots:
+        Safety bound per simulation.
+    """
+
+    config: WorkloadConfig
+    policies: Mapping[str, SchedulerFactory]
+    seeds: Sequence[int] = (0,)
+    max_slots: int = 1_000_000
+
+    def run(self) -> ExperimentResults:
+        if not self.policies:
+            raise ConfigurationError("at least one policy is required")
+        if not self.seeds:
+            raise ConfigurationError("at least one seed is required")
+        results = ExperimentResults(config=self.config)
+        for seed in self.seeds:
+            specs = WorkloadGenerator(self.config, seed=seed).generate()
+            for name, factory in self.policies.items():
+                results.runs[(name, seed)] = run_simulation(
+                    specs, self.config.capacity, factory(),
+                    max_slots=self.max_slots, seed=seed)
+        return results

@@ -1,0 +1,201 @@
+"""Command-line interface for the RUSH reproduction.
+
+Four subcommands cover the workflow an operator would actually use:
+
+``rush generate``
+    Draw a Section V-B workload and freeze it to a JSON-lines trace.
+``rush simulate``
+    Replay a trace under one scheduling policy and print the outcome.
+``rush compare``
+    Run several policies over the same workload (the Figure 4/6 loop)
+    and print the comparison tables.
+``rush plan``
+    One offline robust planning round over the jobs of a trace, printing
+    the Figure 2 status table (optionally as HTML).
+
+Installed as the ``rush`` console script; also runnable as
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.experiment import Experiment
+from repro.analysis.report import format_table
+from repro.core.planner import PlannerJob, RushPlanner
+from repro.errors import ReproError
+from repro.estimation.gaussian import GaussianEstimator
+from repro.schedulers import (
+    CapacityScheduler,
+    EdfScheduler,
+    FairScheduler,
+    FifoScheduler,
+    RrhScheduler,
+    RushScheduler,
+    SpeculativeScheduler,
+)
+from repro.cluster.simulator import run_simulation
+from repro.ui.status import render_status_html, render_status_text
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+from repro.workload.trace import load_trace, save_trace
+
+__all__ = ["main", "build_parser"]
+
+POLICY_FACTORIES = {
+    "fifo": FifoScheduler,
+    "edf": EdfScheduler,
+    "fair": FairScheduler,
+    "capacity": CapacityScheduler,
+    "rrh": RrhScheduler,
+    "rush": RushScheduler,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rush",
+        description="RUSH robust scheduler reproduction (ICDCS 2016)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="draw a workload trace")
+    gen.add_argument("--out", required=True, help="trace file to write")
+    gen.add_argument("--jobs", type=int, default=100)
+    gen.add_argument("--capacity", type=int, default=48)
+    gen.add_argument("--ratio", type=float, default=1.5,
+                     help="budget / benchmarked-runtime ratio")
+    gen.add_argument("--interarrival", type=float, default=130.0)
+    gen.add_argument("--time-scale", type=float, default=1.0)
+    gen.add_argument("--failure-prob", type=float, default=0.0)
+    gen.add_argument("--seed", type=int, default=0)
+
+    simulate = sub.add_parser("simulate", help="replay a trace under one policy")
+    simulate.add_argument("--trace", required=True)
+    simulate.add_argument("--capacity", type=int, default=48)
+    simulate.add_argument("--policy", choices=sorted(POLICY_FACTORIES),
+                          default="rush")
+    simulate.add_argument("--speculative", action="store_true",
+                          help="wrap the policy with speculative execution")
+    simulate.add_argument("--seed", type=int, default=0,
+                          help="failure-injection seed")
+
+    compare = sub.add_parser("compare", help="run several policies and compare")
+    compare.add_argument("--jobs", type=int, default=25)
+    compare.add_argument("--capacity", type=int, default=8)
+    compare.add_argument("--ratio", type=float, default=1.5)
+    compare.add_argument("--interarrival", type=float, default=170.0)
+    compare.add_argument("--time-scale", type=float, default=0.25)
+    compare.add_argument("--failure-prob", type=float, default=0.0)
+    compare.add_argument("--seeds", type=int, nargs="+", default=[0, 1])
+    compare.add_argument("--policies", nargs="+",
+                         choices=sorted(POLICY_FACTORIES),
+                         default=["fifo", "edf", "rrh", "rush"])
+
+    plan = sub.add_parser("plan", help="one offline robust planning round")
+    plan.add_argument("--trace", required=True)
+    plan.add_argument("--capacity", type=int, default=48)
+    plan.add_argument("--theta", type=float, default=0.9)
+    plan.add_argument("--delta", type=float, default=0.7)
+    plan.add_argument("--html", help="also write the status page to this file")
+
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    config = WorkloadConfig(
+        n_jobs=args.jobs, capacity=args.capacity,
+        mean_interarrival=args.interarrival, budget_ratio=args.ratio,
+        time_scale=args.time_scale, failure_prob=args.failure_prob)
+    specs = WorkloadGenerator(config, seed=args.seed).generate()
+    save_trace(specs, args.out)
+    total = sum(s.total_work for s in specs)
+    print(f"wrote {len(specs)} jobs ({total} container-slots of work) "
+          f"to {args.out}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    specs = load_trace(args.trace)
+    scheduler = POLICY_FACTORIES[args.policy]()
+    if args.speculative:
+        scheduler = SpeculativeScheduler(scheduler)
+    result = run_simulation(specs, args.capacity, scheduler, seed=args.seed)
+    rows = [[r.job_id, r.sensitivity, r.arrival, r.runtime, r.latency,
+             r.utility_value, "yes" if r.completed else "NO"]
+            for r in result.records]
+    print(format_table(
+        ["job", "class", "arrived", "runtime", "latency", "utility",
+         "completed"], rows, digits=1))
+    print(f"\npolicy={result.scheduler_name}  "
+          f"completed={result.completed_count}/{len(result.records)}  "
+          f"utilization={result.utilization:.2f}  "
+          f"task failures={result.task_failures}  "
+          f"speculative launches={result.speculative_launches}  "
+          f"total utility={result.total_utility():.1f}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    config = WorkloadConfig(
+        n_jobs=args.jobs, capacity=args.capacity,
+        mean_interarrival=args.interarrival, budget_ratio=args.ratio,
+        size_gb_range=(0.5, 2.0) if args.time_scale < 1.0 else (1.0, 10.0),
+        time_scale=args.time_scale, failure_prob=args.failure_prob)
+    experiment = Experiment(
+        config=config,
+        policies={name.upper(): POLICY_FACTORIES[name]
+                  for name in args.policies},
+        seeds=tuple(args.seeds))
+    results = experiment.run()
+    print(results.summary_table())
+    ranking = results.lexicographic_ranking()
+    print("\nlexicographic max-min ranking (best first): "
+          + " > ".join(ranking))
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    specs = load_trace(args.trace)
+    planner = RushPlanner(capacity=args.capacity, theta=args.theta,
+                          delta=args.delta)
+    jobs: List[PlannerJob] = []
+    for spec in specs:
+        prior = spec.prior_runtime
+        if prior is None:
+            prior = float(sum(spec.task_durations)) / len(spec.task_durations)
+        de = GaussianEstimator(prior_mean=prior, prior_std=0.3 * prior)
+        jobs.append(PlannerJob(
+            spec.job_id, spec.utility,
+            de.estimate(pending_tasks=len(spec.task_durations))))
+    plan = planner.plan(jobs)
+    print(render_status_text(plan))
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(render_status_html(plan))
+        print(f"\nwrote HTML status page to {args.html}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "simulate": _cmd_simulate,
+    "compare": _cmd_compare,
+    "plan": _cmd_plan,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""The YARN-like cluster substrate: jobs, tasks, containers, simulator."""
+
+from repro.cluster.container import Container
+from repro.cluster.job import JobSpec, SimJob
+from repro.cluster.metrics import JobRecord, SimulationResult, lexicographic_compare
+from repro.cluster.simulator import ClusterSimulator, run_simulation
+from repro.cluster.task import Task, TaskState
+
+__all__ = [
+    "Task",
+    "TaskState",
+    "Container",
+    "JobSpec",
+    "SimJob",
+    "ClusterSimulator",
+    "run_simulation",
+    "JobRecord",
+    "SimulationResult",
+    "lexicographic_compare",
+]

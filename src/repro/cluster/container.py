@@ -1,0 +1,47 @@
+"""Containers: the homogeneous resource unit of the YARN-like substrate.
+
+The paper packs and apportions cluster resources in homogeneous units
+called *containers* (heterogeneous container sizes are explicitly out of
+scope).  A container runs at most one task at a time and, per the
+continuity constraint, keeps it until completion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import SimulationError
+from repro.cluster.task import Task
+
+__all__ = ["Container"]
+
+
+@dataclass
+class Container:
+    """One container slot of the cluster."""
+
+    container_id: int
+    task: Optional[Task] = None
+
+    @property
+    def is_free(self) -> bool:
+        return self.task is None
+
+    def assign(self, task: Task, now: int) -> None:
+        """Launch ``task`` on this container at slot ``now``."""
+        if self.task is not None:
+            raise SimulationError(
+                f"container {self.container_id} already runs {self.task.task_id!r}")
+        task.launch(now)
+        self.task = task
+
+    def advance(self, now: int) -> Optional[Task]:
+        """Progress the running task one slot; return it if it finished."""
+        if self.task is None:
+            return None
+        if self.task.advance(now):
+            finished = self.task
+            self.task = None
+            return finished
+        return None

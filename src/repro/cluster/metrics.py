@@ -1,0 +1,198 @@
+"""Metrics collection for simulation runs.
+
+Captures exactly the quantities the paper's evaluation reports:
+
+* **latency** — "the difference between the actual job runtime and the
+  time budget" (Figure 4); negative latency means the job beat its budget;
+* **utility** — the value of the job's utility function at its achieved
+  runtime (Figure 6);
+* cluster utilization and scheduler-decision accounting, used by the
+  overhead study (Figure 5).
+
+Jobs still incomplete when a bounded simulation ends are recorded as
+*censored*: their runtime is a lower bound (horizon minus arrival) and
+their utility is evaluated at that bound, which — utilities being
+non-increasing — upper-bounds the truth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.cluster.job import JobSpec
+
+__all__ = ["JobRecord", "SimulationResult", "lexicographic_compare"]
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Outcome of one job in one simulation run."""
+
+    job_id: str
+    template: str
+    sensitivity: str
+    priority: float
+    arrival: int
+    budget: float
+    benchmark_runtime: float
+    runtime: float
+    latency: float
+    utility_value: float
+    completed: bool
+
+    @classmethod
+    def from_spec(cls, spec: JobSpec, completion: Optional[int],
+                  horizon: int) -> "JobRecord":
+        if completion is not None:
+            runtime = float(completion - spec.arrival)
+            completed = True
+        else:
+            runtime = float(max(horizon - spec.arrival, 0))
+            completed = False
+        latency = runtime - spec.budget if math.isfinite(spec.budget) else math.nan
+        return cls(job_id=spec.job_id, template=spec.template,
+                   sensitivity=spec.sensitivity, priority=spec.priority,
+                   arrival=spec.arrival, budget=spec.budget,
+                   benchmark_runtime=spec.benchmark_runtime,
+                   runtime=runtime, latency=latency,
+                   utility_value=spec.utility.value(runtime),
+                   completed=completed)
+
+
+@dataclass
+class SimulationResult:
+    """Everything a benchmark needs from one simulation run."""
+
+    scheduler_name: str
+    capacity: int
+    slots_simulated: int
+    records: List[JobRecord] = field(default_factory=list)
+    busy_container_slots: int = 0
+    scheduling_decisions: int = 0
+    task_failures: int = 0
+    speculative_launches: int = 0
+    planner_seconds: float = 0.0
+
+    # -- selection helpers -------------------------------------------------
+
+    def by_sensitivity(self, *classes: str) -> List[JobRecord]:
+        """Records restricted to the given sensitivity classes."""
+        wanted = set(classes)
+        return [r for r in self.records if r.sensitivity in wanted]
+
+    def latencies(self, *classes: str) -> List[float]:
+        """Latency values (runtime - budget), optionally filtered by class."""
+        records = self.by_sensitivity(*classes) if classes else self.records
+        return [r.latency for r in records if not math.isnan(r.latency)]
+
+    def utilities(self, *classes: str) -> List[float]:
+        """Achieved utility values, optionally filtered by class."""
+        records = self.by_sensitivity(*classes) if classes else self.records
+        return [r.utility_value for r in records]
+
+    # -- aggregates ----------------------------------------------------------
+
+    @property
+    def completed_count(self) -> int:
+        return sum(1 for r in self.records if r.completed)
+
+    @property
+    def zero_utility_fraction(self) -> float:
+        """Fraction of jobs whose achieved utility is (numerically) zero."""
+        if not self.records:
+            return 0.0
+        zeros = sum(1 for r in self.records if r.utility_value <= 1e-9)
+        return zeros / len(self.records)
+
+    @property
+    def on_time_fraction(self) -> float:
+        """Fraction of budgeted jobs finishing within their budget."""
+        budgeted = [r for r in self.records if not math.isnan(r.latency)]
+        if not budgeted:
+            return 1.0
+        return sum(1 for r in budgeted if r.latency <= 0 and r.completed) / len(budgeted)
+
+    @property
+    def utilization(self) -> float:
+        """Busy container-slots over total container-slots."""
+        denom = self.capacity * max(self.slots_simulated, 1)
+        return self.busy_container_slots / denom
+
+    def total_utility(self) -> float:
+        return sum(r.utility_value for r in self.records)
+
+    # -- export -------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-compatible dump of the run (for external analysis)."""
+        import dataclasses
+
+        return {
+            "scheduler": self.scheduler_name,
+            "capacity": self.capacity,
+            "slots_simulated": self.slots_simulated,
+            "busy_container_slots": self.busy_container_slots,
+            "scheduling_decisions": self.scheduling_decisions,
+            "task_failures": self.task_failures,
+            "speculative_launches": self.speculative_launches,
+            "planner_seconds": self.planner_seconds,
+            "records": [dataclasses.asdict(r) for r in self.records],
+        }
+
+    def save_json(self, path) -> None:
+        """Write :meth:`to_dict` to ``path`` (NaN-safe JSON)."""
+        import json
+        import math
+        from pathlib import Path
+
+        def clean(obj):
+            if isinstance(obj, float) and not math.isfinite(obj):
+                return None
+            if isinstance(obj, dict):
+                return {k: clean(v) for k, v in obj.items()}
+            if isinstance(obj, list):
+                return [clean(v) for v in obj]
+            return obj
+
+        Path(path).write_text(
+            json.dumps(clean(self.to_dict()), indent=2, sort_keys=True),
+            encoding="utf-8")
+
+    def save_csv(self, path) -> None:
+        """Write the per-job records as CSV."""
+        import csv
+        import dataclasses
+
+        fields = [f.name for f in dataclasses.fields(JobRecord)]
+        with open(path, "w", newline="", encoding="utf-8") as handle:
+            writer = csv.DictWriter(handle, fieldnames=fields)
+            writer.writeheader()
+            for record in self.records:
+                writer.writerow(dataclasses.asdict(record))
+
+    def min_utility(self) -> float:
+        return min((r.utility_value for r in self.records), default=0.0)
+
+    def sorted_utilities(self) -> List[float]:
+        """The lexicographic comparison vector (non-decreasing utilities)."""
+        return sorted(r.utility_value for r in self.records)
+
+
+def lexicographic_compare(a: Sequence[float], b: Sequence[float]) -> int:
+    """Compare two utility vectors under the paper's lexicographic order.
+
+    Both vectors are sorted non-decreasingly first.  Returns 1 if ``a`` is
+    lexicographically greater, -1 if smaller, 0 if equal — the order used
+    by the RS objective in Section II.
+    """
+    sa, sb = sorted(a), sorted(b)
+    for x, y in zip(sa, sb):
+        if x > y + 1e-12:
+            return 1
+        if x < y - 1e-12:
+            return -1
+    if len(sa) != len(sb):  # compare padded with -inf: shorter is greater earlier
+        return 1 if len(sa) < len(sb) else -1
+    return 0

@@ -1,0 +1,220 @@
+"""The slotted discrete-event cluster simulator.
+
+This is the substrate substituting for the paper's YARN Hadoop cluster.
+Time advances in fixed slots (the paper's discrete time model, e.g. one
+second per slot).  Within a slot the simulator
+
+1. admits newly arrived jobs,
+2. fires *scheduling events* while containers are free and work is
+   pending — each event asks the pluggable scheduler for one job and
+   launches that job's next task, matching YARN's container-grant loop
+   driven by the RUSH CA unit ("the CA unit is triggered whenever there is
+   an empty container in the system"),
+3. advances every running task by one slot, releasing containers whose
+   tasks finished and forwarding the runtime samples to the scheduler
+   (feeding the DE units).
+
+Tasks hold their container continuously until completion — the continuity
+constraint of Section III-C is structural here, not merely modeled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.cluster.container import Container
+from repro.cluster.job import JobSpec, SimJob
+from repro.cluster.metrics import JobRecord, SimulationResult
+from repro.schedulers.base import Scheduler
+
+__all__ = ["ClusterSimulator", "run_simulation"]
+
+
+class ClusterSimulator:
+    """A cluster of ``capacity`` homogeneous containers plus one scheduler.
+
+    The simulator exposes the read API schedulers need (``now``,
+    ``active_jobs``, per-job state) and owns every state transition, so a
+    scheduler cannot corrupt the cluster even if buggy.
+    """
+
+    def __init__(self, capacity: int, scheduler: Scheduler,
+                 seed: int = 0) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.scheduler = scheduler
+        self.containers = [Container(container_id=k) for k in range(capacity)]
+        self.now = 0
+        self._jobs: Dict[str, SimJob] = {}
+        self._pending_arrivals: List[SimJob] = []
+        self._active: List[SimJob] = []
+        self._completed: List[SimJob] = []
+        self._rng = np.random.default_rng(seed)  # failure injection only
+        self.busy_container_slots = 0
+        self.scheduling_decisions = 0
+        self.task_failures = 0
+        self.speculative_launches = 0
+        scheduler.bind(self)
+
+    # -- read API for schedulers -------------------------------------------
+
+    @property
+    def active_jobs(self) -> List[SimJob]:
+        """Arrived, incomplete jobs (the scheduler's candidate set)."""
+        return list(self._active)
+
+    def job(self, job_id: str) -> SimJob:
+        return self._jobs[job_id]
+
+    @property
+    def free_container_count(self) -> int:
+        return sum(1 for c in self.containers if c.is_free)
+
+    # -- setup ---------------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> None:
+        """Register a job for arrival at ``spec.arrival``."""
+        if spec.job_id in self._jobs:
+            raise SimulationError(f"duplicate job id {spec.job_id!r}")
+        if spec.arrival < self.now:
+            raise SimulationError(
+                f"job {spec.job_id!r} arrives at {spec.arrival} "
+                f"but the clock is already at {self.now}")
+        job = SimJob(spec)
+        self._jobs[spec.job_id] = job
+        self._pending_arrivals.append(job)
+        self._pending_arrivals.sort(key=lambda j: (j.arrival, j.job_id))
+
+    # -- the slot loop --------------------------------------------------------
+
+    def step(self) -> None:
+        """Simulate one slot."""
+        self._admit_arrivals()
+        self._fire_scheduling_events()
+        self._advance_tasks()
+        self.now += 1
+
+    def run(self, max_slots: int = 1_000_000) -> SimulationResult:
+        """Run until every submitted job completes or ``max_slots`` elapse."""
+        while (self._pending_arrivals or self._active) and self.now < max_slots:
+            self.step()
+        return self._result()
+
+    # -- internals -------------------------------------------------------------
+
+    def _admit_arrivals(self) -> None:
+        while self._pending_arrivals and self._pending_arrivals[0].arrival <= self.now:
+            job = self._pending_arrivals.pop(0)
+            self._active.append(job)
+            self.scheduler.on_job_arrival(job)
+
+    def _fire_scheduling_events(self) -> None:
+        free = [c for c in self.containers if c.is_free]
+        while free and any(j.pending_count > 0 for j in self._active):
+            job_id = self.scheduler.select_job()
+            self.scheduling_decisions += 1
+            if job_id is None:
+                break  # the scheduler deliberately idles remaining containers
+            job = self._jobs.get(job_id)
+            if job is None or job not in self._active:
+                raise SimulationError(
+                    f"scheduler selected unknown or inactive job {job_id!r}")
+            task = job.next_pending()
+            if task is None:
+                raise SimulationError(
+                    f"scheduler selected job {job_id!r} with no pending tasks")
+            self._maybe_inject_failure(job, task)
+            container = free.pop()
+            container.assign(task, self.now)
+            job.note_launched()
+            self.scheduler.on_task_launched(job, task)
+        # Leftover free containers may run speculative duplicates of
+        # straggling tasks, if the scheduler asks for them.
+        while free:
+            request = self.scheduler.select_speculative()
+            if request is None:
+                break
+            job_id, logical_id, duration = request
+            job = self._jobs.get(job_id)
+            if job is None or job not in self._active:
+                raise SimulationError(
+                    f"speculation on unknown or inactive job {job_id!r}")
+            duplicate = job.speculate(logical_id, duration)
+            container = free.pop()
+            container.assign(duplicate, self.now)
+            job.note_launched()
+            self.speculative_launches += 1
+            self.scheduler.on_task_launched(job, duplicate)
+
+    def _maybe_inject_failure(self, job: SimJob, task) -> None:
+        """Arm a failure point on the task per the job's failure model."""
+        p = job.spec.failure_prob
+        if p > 0.0 and self._rng.random() < p:
+            task.fail_after = int(self._rng.integers(1, task.duration + 1))
+
+    def _advance_tasks(self) -> None:
+        from repro.cluster.task import TaskState
+
+        for container in self.containers:
+            if not container.is_free:
+                self.busy_container_slots += 1
+            finished = container.advance(self.now)
+            if finished is None:
+                continue
+            job = self._jobs[finished.job_id]
+            if finished.state is TaskState.FAILED:
+                self.task_failures += 1
+                job.note_failed(finished)
+                self.scheduler.on_task_failed(job, finished)
+                continue
+            if not job.note_completed(finished):
+                continue  # a sibling already completed this logical task
+            self._cancel_siblings(job, finished)
+            self.scheduler.on_task_complete(job, finished)
+            if job.is_complete:
+                self._active.remove(job)
+                self._completed.append(job)
+                self.scheduler.on_job_complete(job)
+
+    def _cancel_siblings(self, job: SimJob, winner) -> None:
+        """Abort surviving attempts of a logical task that just completed."""
+        for container in self.containers:
+            task = container.task
+            if (task is not None and task.job_id == winner.job_id
+                    and task.logical_id == winner.logical_id):
+                task.cancel()
+                container.task = None
+                job.note_cancelled(task)
+        job.cancel_pending_duplicates(winner.logical_id)
+
+    def _result(self) -> SimulationResult:
+        records = [
+            JobRecord.from_spec(job.spec, job.completion_time, self.now)
+            for job in self._jobs.values()
+        ]
+        records.sort(key=lambda r: (r.arrival, r.job_id))
+        return SimulationResult(
+            scheduler_name=self.scheduler.name,
+            capacity=self.capacity,
+            slots_simulated=self.now,
+            records=records,
+            busy_container_slots=self.busy_container_slots,
+            scheduling_decisions=self.scheduling_decisions,
+            task_failures=self.task_failures,
+            speculative_launches=self.speculative_launches,
+            planner_seconds=getattr(self.scheduler, "planner_seconds", 0.0))
+
+
+def run_simulation(specs: Sequence[JobSpec], capacity: int,
+                   scheduler: Scheduler,
+                   max_slots: int = 1_000_000,
+                   seed: int = 0) -> SimulationResult:
+    """Convenience wrapper: submit ``specs`` and run to completion."""
+    sim = ClusterSimulator(capacity, scheduler, seed=seed)
+    for spec in specs:
+        sim.submit(spec)
+    return sim.run(max_slots=max_slots)

@@ -1,0 +1,121 @@
+"""Tasks: the atomic unit of work occupying one container.
+
+Following the paper's system model, a job consists of tasks that are "not
+heavily correlated"; each task, once placed on a container, occupies it
+continuously until it finishes (the continuity constraint of Section
+III-C).  Task durations are drawn by the workload generator — the
+simulator treats them as opaque ground truth that the schedulers can only
+learn about through completed-task runtime samples.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import SimulationError
+
+__all__ = ["TaskState", "Task"]
+
+
+class TaskState(enum.Enum):
+    """Lifecycle of a task inside the simulator."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+@dataclass
+class Task:
+    """One task with a fixed (but initially unknown to schedulers) duration.
+
+    ``duration`` is in whole slots and must be >= 1.  ``start_time`` is the
+    slot in which the task was launched; ``finish_time`` is the first slot
+    boundary by which it is done (``start_time + duration``).
+    """
+
+    task_id: str
+    job_id: str
+    duration: int
+    state: TaskState = TaskState.PENDING
+    start_time: Optional[int] = None
+    finish_time: Optional[int] = None
+    remaining: int = field(default=0)
+    #: Slots after which the task fails instead of progressing; None means
+    #: the task is healthy.  Set by the simulator's failure injector when
+    #: the job's spec carries a non-zero failure probability.
+    fail_after: Optional[int] = None
+    #: How many earlier attempts of the same logical task failed.
+    attempt: int = 0
+    #: Identity of the logical unit of work this attempt executes.  Retries
+    #: and speculative duplicates of one task share a logical id; derived
+    #: from the task id when not given.
+    logical_id: str = ""
+
+    def __post_init__(self) -> None:
+        if self.duration < 1:
+            raise SimulationError(
+                f"task {self.task_id!r}: duration must be >= 1 slot, "
+                f"got {self.duration}")
+        if self.fail_after is not None and self.fail_after < 1:
+            raise SimulationError(
+                f"task {self.task_id!r}: fail_after must be >= 1 slot")
+        if not self.logical_id:
+            self.logical_id = self.task_id.split("#", 1)[0].split("~", 1)[0]
+        self.remaining = self.duration
+
+    def launch(self, now: int) -> None:
+        """Transition to RUNNING at slot ``now``."""
+        if self.state is not TaskState.PENDING:
+            raise SimulationError(
+                f"task {self.task_id!r} launched twice (state={self.state})")
+        self.state = TaskState.RUNNING
+        self.start_time = now
+        self.remaining = self.duration
+
+    def advance(self, now: int) -> bool:
+        """Consume one slot of work; return True when the task ended.
+
+        A task ends either by completing its full duration or by failing
+        at its injected failure point; check :attr:`state` to tell which.
+        """
+        if self.state is not TaskState.RUNNING:
+            raise SimulationError(
+                f"task {self.task_id!r} advanced while {self.state}")
+        self.remaining -= 1
+        executed = self.duration - self.remaining
+        if self.fail_after is not None and executed >= self.fail_after:
+            self.state = TaskState.FAILED
+            self.finish_time = now + 1
+            return True
+        if self.remaining <= 0:
+            self.state = TaskState.COMPLETED
+            self.finish_time = now + 1
+            return True
+        return False
+
+    @property
+    def executed(self) -> int:
+        """Slots of work this attempt has consumed so far."""
+        return self.duration - self.remaining
+
+    def cancel(self) -> None:
+        """Abort a pending or running attempt (a sibling finished first)."""
+        if self.state not in (TaskState.PENDING, TaskState.RUNNING):
+            raise SimulationError(
+                f"task {self.task_id!r} cancelled while {self.state}")
+        self.state = TaskState.CANCELLED
+
+    def retry(self) -> "Task":
+        """A fresh attempt of this logical task (same ground-truth work)."""
+        if self.state is not TaskState.FAILED:
+            raise SimulationError(
+                f"task {self.task_id!r} retried while {self.state}")
+        base = self.task_id.rsplit("#", 1)[0]
+        return Task(task_id=f"{base}#{self.attempt + 1}", job_id=self.job_id,
+                    duration=self.duration, attempt=self.attempt + 1,
+                    logical_id=self.logical_id)

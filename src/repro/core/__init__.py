@@ -1,0 +1,47 @@
+"""The paper's core algorithms: REM, WCDE, onion peeling, mapping, planner."""
+
+from repro.core.feasibility import (
+    first_violation,
+    minimum_capacity,
+    staircase_feasible,
+)
+from repro.core.mapping import ContainerPlan, MappingJob, Segment, map_time_slots
+from repro.core.onion import (
+    JobTarget,
+    OnionJob,
+    OnionResult,
+    default_horizon,
+    solve_onion,
+)
+from repro.core.planner import JobPlan, PlannerJob, RushPlanner, SchedulePlan
+from repro.core.rem import RemSolution, rem_min_kl, rem_min_kl_from_cdf, solve_rem
+from repro.core.tas_lp import lp_feasible, solve_tas_lp
+from repro.core.wcde import WcdeResult, solve_wcde, worst_case_demand
+
+__all__ = [
+    "RemSolution",
+    "solve_rem",
+    "rem_min_kl",
+    "rem_min_kl_from_cdf",
+    "WcdeResult",
+    "solve_wcde",
+    "worst_case_demand",
+    "OnionJob",
+    "JobTarget",
+    "OnionResult",
+    "solve_onion",
+    "default_horizon",
+    "MappingJob",
+    "Segment",
+    "ContainerPlan",
+    "map_time_slots",
+    "lp_feasible",
+    "solve_tas_lp",
+    "staircase_feasible",
+    "first_violation",
+    "minimum_capacity",
+    "PlannerJob",
+    "JobPlan",
+    "SchedulePlan",
+    "RushPlanner",
+]

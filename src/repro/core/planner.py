@@ -1,0 +1,236 @@
+"""The end-to-end RUSH planner: WCDE -> onion peeling -> mapping.
+
+This is the library's primary entry point for one *planning round* of the
+robust scheduling problem (RS) of Section II.  Given a snapshot of the
+active jobs — each with a utility function and a demand estimate from its
+DE unit — the planner
+
+1. solves the WCDE problem per job (Algorithm 2 with the closed-form REM
+   of Algorithm 1) to obtain the robust demand ``eta_i``,
+2. runs onion peeling (Algorithm 3) to pick lexicographically max-min
+   optimal target completion-times, with deadlines pre-compensated by
+   ``R_i`` per Theorem 3, and
+3. maps the targets onto ``C`` container queues (Algorithm 4), yielding a
+   concrete assignment whose first slot the CA unit applies.
+
+The planner is stateless: the surrounding system (the cluster simulator's
+:class:`~repro.schedulers.rush.RushScheduler`, or a real resource manager)
+re-invokes it on every scheduling event, closing the paper's feedback
+cycle of estimation, recalculation and allocation.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.core.mapping import ContainerPlan, MappingJob, map_time_slots
+from repro.core.onion import OnionJob, solve_onion
+from repro.core.wcde import solve_wcde
+from repro.estimation.base import DemandEstimate
+from repro.utility.base import UtilityFunction
+
+__all__ = ["PlannerJob", "JobPlan", "SchedulePlan", "RushPlanner"]
+
+
+@dataclass(frozen=True)
+class PlannerJob:
+    """A job snapshot handed to the planner.
+
+    Attributes
+    ----------
+    job_id:
+        Unique identifier within one planning round.
+    utility:
+        Utility function of *total* completion-time (slots since
+        submission).
+    estimate:
+        The DE unit's current report for the remaining demand.
+    elapsed:
+        Slots already elapsed since the job's submission.
+    delta:
+        Optional per-job entropy threshold overriding the planner default,
+        matching the per-job ``delta_i`` of the formulation.
+    extra_demand:
+        Deterministic demand (container-time-slots) added on top of the
+        robust quantile — typically the expected remaining work of the
+        job's currently *running* tasks, which occupy containers beyond
+        the present slot but are not part of the pending-task estimate.
+    """
+
+    job_id: str
+    utility: UtilityFunction
+    estimate: DemandEstimate
+    elapsed: float = 0.0
+    delta: Optional[float] = None
+    extra_demand: float = 0.0
+
+
+@dataclass(frozen=True)
+class JobPlan:
+    """The planner's decision for one job.
+
+    ``robust_demand`` is ``eta_i`` (container-time-slots);
+    ``reference_demand`` the non-robust theta-quantile of the reference
+    distribution, for comparison.  ``target_completion`` is the onion
+    target and ``planned_completion`` the completion under the concrete
+    container plan (at most ``target + R_i`` when targets were feasible).
+    ``achievable`` is false when the expected utility is zero — the
+    paper's red-row warning that the job cannot meet any useful deadline.
+    """
+
+    job_id: str
+    robust_demand: float
+    reference_demand: float
+    target_completion: int
+    planned_completion: float
+    predicted_utility: float
+    achievable: bool
+    layer: int
+    wcde_iterations: int
+
+
+@dataclass
+class SchedulePlan:
+    """Complete output of one planning round."""
+
+    jobs: Dict[str, JobPlan]
+    container_plan: ContainerPlan
+    theta: float
+    horizon: int
+    layers: int
+    feasibility_checks: int
+    solve_seconds: float
+    _order: List[str] = field(default_factory=list, repr=False)
+
+    def next_slot_allocation(self) -> Dict[str, int]:
+        """Containers each job should hold in the immediate next slot."""
+        return self.container_plan.next_slot_allocation()
+
+    def impossible_jobs(self) -> List[str]:
+        """Jobs whose predicted utility is zero (the UI's red rows)."""
+        return [job_id for job_id in self._order
+                if not self.jobs[job_id].achievable]
+
+    def utility_vector(self) -> List[float]:
+        """Predicted utilities sorted non-decreasingly."""
+        return sorted(plan.predicted_utility for plan in self.jobs.values())
+
+
+class RushPlanner:
+    """Stateless solver for one round of the robust scheduling problem.
+
+    Parameters
+    ----------
+    capacity:
+        Cluster capacity ``C`` in containers.
+    theta:
+        Completion-probability percentile of the robust constraint (3).
+    delta:
+        Default entropy threshold ``delta_i`` for every job; the paper's
+        experiments use values around 0.7.
+    tolerance:
+        Bisection tolerance ``Delta`` of the onion peeling.
+    compensate_runtime:
+        Subtract ``R_i`` from each deadline so Theorem 3's mapping bound
+        still meets the original deadline (Section III-C).  Disable only
+        for experiments isolating the mapping error.
+    """
+
+    def __init__(self, capacity: int, *, theta: float = 0.9, delta: float = 0.7,
+                 tolerance: float = 0.01, compensate_runtime: bool = True) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"capacity must be positive, got {capacity}")
+        if not 0.0 <= theta <= 1.0:
+            raise ConfigurationError(f"theta={theta} outside [0, 1]")
+        if delta < 0.0:
+            raise ConfigurationError(f"delta={delta} must be >= 0")
+        if tolerance <= 0.0:
+            raise ConfigurationError(f"tolerance must be positive, got {tolerance}")
+        self.capacity = capacity
+        self.theta = theta
+        self.delta = delta
+        self.tolerance = tolerance
+        self.compensate_runtime = compensate_runtime
+
+    def robust_demand(self, estimate: DemandEstimate,
+                      delta: Optional[float] = None) -> tuple[float, float, int]:
+        """WCDE for one job: (eta, reference quantile, iterations), in slots."""
+        result = solve_wcde(estimate.pmf, self.theta,
+                            self.delta if delta is None else delta)
+        return (estimate.demand_at(result.eta_bin),
+                estimate.demand_at(result.reference_quantile),
+                result.iterations)
+
+    def plan(self, jobs: Sequence[PlannerJob],
+             horizon: Optional[int] = None) -> SchedulePlan:
+        """Produce a complete schedule plan for the given job snapshot."""
+        started = time.perf_counter()
+        ids = [job.job_id for job in jobs]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError("job ids must be unique within one plan")
+
+        etas: Dict[str, float] = {}
+        refs: Dict[str, float] = {}
+        iters: Dict[str, int] = {}
+        onion_jobs: List[OnionJob] = []
+        for job in jobs:
+            eta, ref, n_iter = self.robust_demand(job.estimate, job.delta)
+            eta += max(job.extra_demand, 0.0)
+            etas[job.job_id] = eta
+            refs[job.job_id] = ref
+            iters[job.job_id] = n_iter
+            compensation = (job.estimate.container_runtime
+                            if self.compensate_runtime else 0.0)
+            onion_jobs.append(OnionJob(
+                job_id=job.job_id, demand=eta, utility=job.utility,
+                elapsed=job.elapsed, compensation=compensation))
+
+        if horizon is None:
+            total = sum(etas.values())
+            max_runtime = max((job.estimate.container_runtime for job in jobs),
+                              default=1.0)
+            horizon = max(1, int(math.ceil(total / self.capacity))
+                          + int(math.ceil(max_runtime)) + 1)
+
+        onion = solve_onion(onion_jobs, self.capacity,
+                            tolerance=self.tolerance, horizon=horizon)
+
+        mapping_jobs = []
+        for job in jobs:
+            target = onion.targets[job.job_id].target_completion
+            runtime = job.estimate.container_runtime
+            # Tie-break equal targets by the utility recoverable from
+            # finishing one task-runtime earlier, so a salvageable late job
+            # is packed ahead of a completion-time-insensitive one.
+            earlier = max(target - runtime, 0.0)
+            recoverable = (job.utility.value(job.elapsed + earlier)
+                           - job.utility.value(job.elapsed + target))
+            mapping_jobs.append(MappingJob(
+                job_id=job.job_id, demand=etas[job.job_id], runtime=runtime,
+                target_completion=target, tie_break=recoverable))
+        container_plan = map_time_slots(mapping_jobs, self.capacity)
+
+        job_plans: Dict[str, JobPlan] = {}
+        for job in jobs:
+            target = onion.targets[job.job_id]
+            job_plans[job.job_id] = JobPlan(
+                job_id=job.job_id,
+                robust_demand=etas[job.job_id],
+                reference_demand=refs[job.job_id],
+                target_completion=target.target_completion,
+                planned_completion=container_plan.completion(job.job_id),
+                predicted_utility=target.utility_value,
+                achievable=target.achievable,
+                layer=target.layer,
+                wcde_iterations=iters[job.job_id])
+
+        return SchedulePlan(
+            jobs=job_plans, container_plan=container_plan, theta=self.theta,
+            horizon=onion.horizon, layers=onion.layers,
+            feasibility_checks=onion.feasibility_checks,
+            solve_seconds=time.perf_counter() - started,
+            _order=list(ids))

@@ -1,0 +1,133 @@
+"""Relative Entropy Minimization — Algorithm 1 of the paper.
+
+The WCDE bisection (Algorithm 2) repeatedly asks: *can the adversary find
+a demand distribution whose CDF at bin ``L`` is at most theta, while
+staying within KL distance delta of the reference?*  The cheapest such
+distribution is the solution of the REM problem
+
+    minimize    sum_l p_l ln(p_l / phi_l)
+    subject to  sum_l p_l = 1,   sum_{l <= L} p_l <= theta,   p >= 0.
+
+Theorem 1 of the paper shows the KKT conditions admit a closed form: the
+optimum keeps the *shape* of the reference on each side of ``L`` and only
+rescales the two sides so that exactly ``theta`` mass sits at or below
+``L`` (when the reference places more than ``theta`` there).  This module
+implements that closed form, plus an O(1) evaluation of the optimal KL
+value from the reference CDF alone, which is what makes the WCDE search
+logarithmic-time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.estimation.pmf import Pmf
+
+__all__ = ["RemSolution", "solve_rem", "rem_min_kl", "rem_min_kl_from_cdf"]
+
+
+@dataclass(frozen=True)
+class RemSolution:
+    """Outcome of one REM solve.
+
+    Attributes
+    ----------
+    feasible:
+        Whether any distribution satisfies the tail constraint.  The only
+        infeasible case is a reference with no probability mass above
+        ``L`` (the adversary cannot conjure mass where the reference has
+        none without infinite KL cost) while ``theta < 1``.
+    kl:
+        The minimal KL divergence, ``math.inf`` when infeasible.
+    pmf:
+        The minimizing distribution, ``None`` when infeasible.
+    """
+
+    feasible: bool
+    kl: float
+    pmf: Optional[Pmf]
+
+
+def _validate_theta(theta: float) -> float:
+    if not 0.0 <= theta <= 1.0:
+        raise ConfigurationError(f"theta={theta} outside [0, 1]")
+    return float(theta)
+
+
+def rem_min_kl_from_cdf(reference_cdf_at_l: float, theta: float) -> float:
+    """Minimal KL cost of pushing the CDF at a bin down to ``theta``.
+
+    ``reference_cdf_at_l`` is ``Phi(L) = sum_{l <= L} phi_l``.  By Theorem 1
+    the optimal distribution rescales the reference below and above ``L``,
+    so the divergence collapses to the binary KL between ``(theta, 1-theta)``
+    and ``(Phi(L), 1-Phi(L))``::
+
+        g(L) = theta ln(theta / Phi(L)) + (1-theta) ln((1-theta)/(1-Phi(L)))
+
+    with ``0 ln 0 = 0``.  Returns 0 when the reference already satisfies
+    the constraint and ``inf`` when no distribution can (``Phi(L) = 1`` with
+    ``theta < 1``).
+    """
+    theta = _validate_theta(theta)
+    phi_l = min(max(float(reference_cdf_at_l), 0.0), 1.0)
+    if phi_l <= theta:
+        return 0.0
+    if theta >= 1.0:
+        return 0.0
+    if phi_l >= 1.0:
+        return math.inf
+    head = 0.0 if theta == 0.0 else theta * math.log(theta / phi_l)
+    tail = (1.0 - theta) * math.log((1.0 - theta) / (1.0 - phi_l))
+    return head + tail
+
+
+def rem_min_kl(reference: Pmf, target_bin: int, theta: float) -> float:
+    """Minimal KL divergence for the REM problem at ``target_bin``."""
+    return rem_min_kl_from_cdf(reference.cdf_at(target_bin), theta)
+
+
+def solve_rem(reference: Pmf, target_bin: int, theta: float) -> RemSolution:
+    """Closed-form REM solve (Algorithm 1 with infeasibility handling).
+
+    Parameters
+    ----------
+    reference:
+        The quantized reference distribution ``phi_i``.
+    target_bin:
+        The candidate objective ``L`` of the WCDE bisection.
+    theta:
+        The completion-probability percentile of the robust constraint.
+
+    Returns the minimizing distribution and its divergence.  When the
+    reference already places at most ``theta`` mass at or below ``L`` the
+    reference itself is optimal with zero divergence (constraint (10) of
+    the paper is slack, so its multiplier ``nu`` is zero).
+    """
+    theta = _validate_theta(theta)
+    if target_bin < 0:
+        raise ConfigurationError(f"target_bin={target_bin} must be >= 0")
+    phi = reference.probs
+    head_mass = reference.cdf_at(target_bin)
+    if head_mass <= theta or theta >= 1.0:
+        return RemSolution(feasible=True, kl=0.0, pmf=reference)
+    tail_mass = 1.0 - head_mass
+    if tail_mass <= 0.0:
+        return RemSolution(feasible=False, kl=math.inf, pmf=None)
+
+    probs = np.array(phi, dtype=float)
+    cut = min(target_bin, reference.tau_max)
+    head = probs[: cut + 1]
+    tail = probs[cut + 1:]
+    # Rescale each side: theta mass below (inclusive), 1 - theta above.
+    head *= theta / head_mass
+    tail *= (1.0 - theta) / tail_mass
+    kl = rem_min_kl_from_cdf(head_mass, theta)
+    if theta == 0.0:
+        # All mass moves above L; bins at or below L become exact zeros.
+        probs[: cut + 1] = 0.0
+    return RemSolution(feasible=True, kl=kl, pmf=Pmf(probs, normalize=True))

@@ -1,0 +1,134 @@
+"""Worst-Case Distribution Estimation — Algorithm 2 of the paper.
+
+Given a reference demand distribution ``phi_i`` (from a distribution
+estimator), a completion-probability percentile ``theta`` and an entropy
+threshold ``delta_i``, the WCDE problem finds the largest theta-quantile
+any distribution within KL distance ``delta_i`` of the reference can have:
+
+    eta_i = max_{omega : D(omega || phi_i) <= delta_i}  Omega_i^{-1}(theta).
+
+Allocating at least ``eta_i`` container-time-slots to job ``i`` then
+guarantees the robust constraint (3): the job receives enough resources
+with probability at least ``theta`` under *every* distribution in the KL
+ball, not just the estimated one.
+
+The search exploits two monotonicity facts:
+
+* the minimal KL cost of forcing ``CDF(L) <= theta`` (the REM value
+  ``g(L)``) is non-decreasing in ``L``, so feasibility of a candidate
+  objective is monotone and bisection applies;
+* no distribution at finite KL distance can place mass above the
+  reference's support, so the support maximum caps the answer.
+
+With the O(1) REM evaluation of :mod:`repro.core.rem`, one WCDE solve
+costs ``O(tau_max)`` for the CDF precomputation plus ``O(log tau_max)``
+bisection steps — cheap enough to re-run for every job on every
+scheduling event, as the RUSH feedback cycle requires.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.core.rem import rem_min_kl_from_cdf, solve_rem
+from repro.estimation.pmf import Pmf
+
+__all__ = ["WcdeResult", "solve_wcde", "worst_case_demand"]
+
+
+@dataclass(frozen=True)
+class WcdeResult:
+    """Outcome of a WCDE solve.
+
+    Attributes
+    ----------
+    eta_bin:
+        The robust demand quantile in *bins*.  Multiply by the estimator's
+        bin width to obtain ``eta_i`` in container-time-slots.
+    reference_quantile:
+        ``Phi^{-1}(theta)`` of the reference — the non-robust answer, and
+        the bisection's lower anchor.  ``eta_bin >= reference_quantile``
+        always: the reference itself lies inside every KL ball.
+    worst_pmf:
+        The adversary's boundary distribution: the REM minimizer at
+        ``eta_bin - 1``, whose CDF there equals ``theta`` exactly in the
+        binding case.  Any infinitesimally stronger perturbation would push
+        the quantile to ``eta_bin``, which is why ``eta_bin`` slots must be
+        reserved.
+    worst_kl:
+        Its divergence from the reference.
+    iterations:
+        Number of bisection steps taken.
+    """
+
+    eta_bin: int
+    reference_quantile: int
+    worst_pmf: Pmf
+    worst_kl: float
+    iterations: int
+
+
+def solve_wcde(reference: Pmf, theta: float, delta: float) -> WcdeResult:
+    """Solve the WCDE problem by bisection (Algorithm 2).
+
+    Parameters
+    ----------
+    reference:
+        Quantized reference distribution ``phi_i`` reported by the DE unit.
+    theta:
+        Required completion probability, in ``[0, 1]``.
+    delta:
+        Entropy threshold ``delta_i >= 0``; larger values concede more
+        ground to the adversary and yield more conservative schedules.
+    """
+    if not 0.0 <= theta <= 1.0:
+        raise ConfigurationError(f"theta={theta} outside [0, 1]")
+    if delta < 0.0 or math.isnan(delta):
+        raise ConfigurationError(f"delta={delta} must be >= 0")
+
+    anchor = reference.quantile(theta)
+    ceiling = reference.support_max()
+
+    # Exact semantics: the adversary's quantile exceeds a bin L iff it can
+    # push CDF(L) strictly below theta, which costs (arbitrarily close to)
+    # the REM value g(L) whenever the reference keeps some mass above L.
+    # Hence eta = 1 + max{ L < support_max : g(L) <= delta }, clamped to
+    # at least the reference quantile.  Two boundary regimes short-circuit:
+    # theta = 1 demands covering the whole support, and delta = 0 leaves
+    # the adversary no room at all (strict improvement has positive cost).
+    if theta >= 1.0:
+        eta = ceiling
+        iterations = 0
+    elif delta == 0.0 or anchor >= ceiling:
+        eta = anchor
+        iterations = 0
+    else:
+        cdf = reference.cdf()
+
+        def feasible(level: int) -> bool:
+            return rem_min_kl_from_cdf(float(cdf[level]), theta) <= delta + 1e-12
+
+        low = anchor - 1      # CDF(anchor - 1) < theta, so g = 0: feasible
+        high = ceiling        # g(support_max) = inf: infeasible
+        iterations = 0
+        while high - low > 1:
+            mid = (low + high) // 2
+            iterations += 1
+            if feasible(mid):
+                low = mid
+            else:
+                high = mid
+        eta = max(low + 1, anchor)
+
+    boundary = max(eta - 1, 0)
+    sol = solve_rem(reference, boundary, theta)
+    worst = sol.pmf if sol.pmf is not None else reference
+    return WcdeResult(eta_bin=eta, reference_quantile=anchor,
+                      worst_pmf=worst, worst_kl=sol.kl, iterations=iterations)
+
+
+def worst_case_demand(reference: Pmf, theta: float, delta: float) -> int:
+    """Convenience wrapper returning only the robust demand bin."""
+    return solve_wcde(reference, theta, delta).eta_bin

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so a
+caller embedding the scheduler can catch one type at the integration
+boundary.  More specific subclasses exist for the situations a scheduler
+host is expected to handle programmatically (infeasible plans, bad
+configuration), mirroring how the paper's YARN integration surfaces
+"impossible" jobs in its management interface instead of crashing.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A user-supplied configuration value is invalid.
+
+    Raised for malformed utility parameters, negative capacities, bad
+    percentile/entropy thresholds and similar input mistakes.  The message
+    always names the offending parameter.
+    """
+
+
+class DistributionError(ReproError):
+    """A probability distribution is malformed or unusable.
+
+    Examples: a PMF that does not sum to one, negative probabilities, or a
+    KL divergence query against a reference with mismatched support.
+    """
+
+
+class InfeasiblePlanError(ReproError):
+    """No feasible schedule exists for the requested constraints.
+
+    The planner normally degrades gracefully (late jobs receive zero
+    utility and are pushed out, exactly like the red rows in the paper's
+    RUSH-YARN web interface).  This error is reserved for requests that are
+    structurally impossible, e.g. zero cluster capacity with non-zero
+    demand.
+    """
+
+
+class EstimationError(ReproError):
+    """A distribution estimator cannot produce an estimate.
+
+    Raised when an estimator is queried with no samples and no prior, or
+    when the sample data is degenerate in a way the estimator cannot
+    represent.
+    """
+
+
+class SimulationError(ReproError):
+    """The cluster simulator reached an inconsistent state.
+
+    This signals a bug or a misuse of the simulator API (e.g. launching a
+    task on an occupied container), never a merely unlucky workload.
+    """

@@ -1,0 +1,102 @@
+"""Exponentially-weighted Gaussian estimator — a drift-tolerant DE class.
+
+The paper's related-work section points at online runtime-estimation
+techniques (linear regression over job history, etc.) and notes they "can
+be implemented as distribution estimation classes and integrated into our
+system".  This class is such an integration for the most common
+non-stationarity in shared clouds: task runtimes that *drift* as cluster
+interference waxes and wanes.  It keeps exponentially-weighted estimates
+of the task-runtime mean and variance, so recent samples dominate and the
+reported demand distribution tracks the current regime instead of
+averaging over stale history like the plain Gaussian estimator.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import EstimationError
+from repro.estimation.base import DemandEstimate, DistributionEstimator
+from repro.estimation.pmf import Pmf
+
+__all__ = ["EwmaGaussianEstimator"]
+
+
+class EwmaGaussianEstimator(DistributionEstimator):
+    """CLT demand estimate from exponentially-weighted runtime moments.
+
+    Parameters
+    ----------
+    alpha:
+        Weight of the newest sample in ``(0, 1]``; the effective memory
+        is roughly ``1 / alpha`` samples.
+    prior_mean, prior_std:
+        Belief used before the first sample arrives and blended in while
+        the weight accumulated is still small.
+    min_std_fraction:
+        Floor on the reported std as a fraction of the mean, so a quiet
+        stretch of identical samples does not collapse the distribution
+        into an overconfident impulse.
+    """
+
+    def __init__(self, alpha: float = 0.1,
+                 prior_mean: float | None = None,
+                 prior_std: float | None = None,
+                 min_std_fraction: float = 0.05) -> None:
+        super().__init__()
+        if not 0.0 < alpha <= 1.0:
+            raise EstimationError(f"alpha must be in (0, 1], got {alpha}")
+        if prior_mean is not None and prior_mean <= 0:
+            raise EstimationError(f"prior_mean must be positive, got {prior_mean}")
+        if prior_std is not None and prior_std < 0:
+            raise EstimationError(f"prior_std must be >= 0, got {prior_std}")
+        if min_std_fraction < 0:
+            raise EstimationError(
+                f"min_std_fraction must be >= 0, got {min_std_fraction}")
+        self._alpha = alpha
+        self._prior_mean = prior_mean
+        self._prior_std = prior_std
+        self._min_std_fraction = min_std_fraction
+        self._ew_mean: float | None = None
+        self._ew_var = 0.0
+
+    def observe(self, runtime: float) -> None:
+        super().observe(runtime)
+        if self._ew_mean is None:
+            self._ew_mean = float(runtime)
+            prior_std = self._prior_std if self._prior_std is not None else 0.0
+            self._ew_var = prior_std ** 2
+            return
+        # standard EW mean/variance recursion (West 1979)
+        delta = float(runtime) - self._ew_mean
+        self._ew_mean += self._alpha * delta
+        self._ew_var = (1.0 - self._alpha) * (self._ew_var
+                                              + self._alpha * delta * delta)
+
+    def task_moments(self) -> tuple[float, float]:
+        """Current (mean, std) belief for one task runtime in slots."""
+        if self._ew_mean is None:
+            if self._prior_mean is None:
+                raise EstimationError(
+                    "EwmaGaussianEstimator has no samples and no prior_mean")
+            std = (self._prior_std if self._prior_std is not None
+                   else 0.5 * self._prior_mean)
+            return self._prior_mean, std
+        mean = self._ew_mean
+        std = math.sqrt(max(self._ew_var, 0.0))
+        std = max(std, self._min_std_fraction * mean)
+        return mean, std
+
+    def _report(self, pending_tasks: int) -> DemandEstimate:
+        mean, std = self.task_moments()
+        if pending_tasks == 0:
+            return self._zero_demand_estimate(mean, self.sample_count)
+        total_mean = mean * pending_tasks
+        total_std = std * math.sqrt(pending_tasks)
+        upper = total_mean + 6.0 * total_std
+        width = self._choose_bin_width(upper)
+        pmf = Pmf.from_gaussian(total_mean / width, total_std / width,
+                                tau_max=max(1, int(math.ceil(upper / width))))
+        return DemandEstimate(pmf=pmf, bin_width=width,
+                              container_runtime=mean,
+                              sample_count=self.sample_count)

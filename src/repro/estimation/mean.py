@@ -1,0 +1,57 @@
+"""Mean time estimator — the paper's first DE class.
+
+Reports "an impulse distribution at the bin equal to the multiple of the
+mean container runtime and the number of pending tasks" (Section IV).  It
+captures no dispersion, so all of RUSH's robustness must come from the
+entropy threshold — a useful contrast to the Gaussian estimator in the
+ablation benchmarks.  Note that an impulse has a single-point support, so
+the WCDE worst case collapses onto the impulse itself regardless of
+``delta``: the mean estimator trusts its point estimate completely.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EstimationError
+from repro.estimation.base import DemandEstimate, DistributionEstimator
+from repro.estimation.pmf import Pmf
+
+__all__ = ["MeanTimeEstimator"]
+
+
+class MeanTimeEstimator(DistributionEstimator):
+    """Impulse estimate at ``mean_runtime * pending_tasks``.
+
+    Parameters
+    ----------
+    prior_runtime:
+        Mean task runtime (slots) assumed before any sample arrives, e.g.
+        from benchmarking the job template.  Without it, estimating with
+        zero samples raises :class:`~repro.errors.EstimationError`.
+    """
+
+    def __init__(self, prior_runtime: float | None = None) -> None:
+        super().__init__()
+        if prior_runtime is not None and prior_runtime <= 0:
+            raise EstimationError(
+                f"prior_runtime must be positive, got {prior_runtime}")
+        self._prior_runtime = prior_runtime
+
+    def mean_runtime(self) -> float:
+        """Current belief about the mean task runtime in slots."""
+        if self.sample_count > 0:
+            return self._sample_mean()
+        if self._prior_runtime is not None:
+            return self._prior_runtime
+        raise EstimationError(
+            "MeanTimeEstimator has no runtime samples and no prior_runtime")
+
+    def _report(self, pending_tasks: int) -> DemandEstimate:
+        runtime = self.mean_runtime()
+        if pending_tasks == 0:
+            return self._zero_demand_estimate(runtime, self.sample_count)
+        demand = runtime * pending_tasks
+        width = self._choose_bin_width(demand)
+        bin_index = int(round(demand / width))
+        return DemandEstimate(pmf=Pmf.impulse(bin_index), bin_width=width,
+                              container_runtime=runtime,
+                              sample_count=self.sample_count)

@@ -1,0 +1,21 @@
+"""Pluggable scheduling policies for the cluster substrate."""
+
+from repro.schedulers.base import Scheduler
+from repro.schedulers.capacity import CapacityScheduler
+from repro.schedulers.edf import EdfScheduler
+from repro.schedulers.fair import FairScheduler
+from repro.schedulers.fifo import FifoScheduler
+from repro.schedulers.rrh import RrhScheduler
+from repro.schedulers.rush import RushScheduler
+from repro.schedulers.speculative import SpeculativeScheduler
+
+__all__ = [
+    "Scheduler",
+    "FifoScheduler",
+    "EdfScheduler",
+    "FairScheduler",
+    "CapacityScheduler",
+    "RrhScheduler",
+    "RushScheduler",
+    "SpeculativeScheduler",
+]

@@ -1,0 +1,89 @@
+"""Scheduler plug-in interface for the cluster substrate.
+
+A scheduler answers one question — *which active job gets the next free
+container?* — and optionally listens to lifecycle events (arrivals, task
+launches/completions) to maintain internal state, exactly the surface the
+RUSH CA unit has against the YARN resource manager.
+
+Returning ``None`` from :meth:`select_job` deliberately leaves the
+remaining containers idle for this slot; most policies here are
+work-conserving and never do, but the interface permits it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.cluster.job import SimJob
+    from repro.cluster.simulator import ClusterSimulator
+    from repro.cluster.task import Task
+
+__all__ = ["Scheduler"]
+
+
+class Scheduler(ABC):
+    """Base class for container-granting policies."""
+
+    #: Human-readable policy name used in results and reports.
+    name: str = "scheduler"
+
+    def __init__(self) -> None:
+        self._sim: Optional["ClusterSimulator"] = None
+
+    def bind(self, sim: "ClusterSimulator") -> None:
+        """Attach the scheduler to a simulator (called by the simulator)."""
+        if self._sim is not None:
+            raise SimulationError(
+                f"{type(self).__name__} is already bound to a simulator")
+        self._sim = sim
+
+    @property
+    def sim(self) -> "ClusterSimulator":
+        if self._sim is None:
+            raise SimulationError(f"{type(self).__name__} is not bound to a simulator")
+        return self._sim
+
+    # -- the decision ---------------------------------------------------------
+
+    @abstractmethod
+    def select_job(self) -> Optional[str]:
+        """Pick the job to receive the next free container, or ``None``."""
+
+    def select_speculative(self):
+        """Request a speculative duplicate for a straggling running task.
+
+        Called only when free containers remain after :meth:`select_job`
+        stopped granting.  Return ``None`` (the default — no speculation)
+        or a ``(job_id, logical_id, duration)`` triple naming the running
+        logical task to race and the duplicate's assumed ground-truth
+        duration.  See :class:`repro.schedulers.speculative
+        .SpeculativeScheduler` for the standard policy.
+        """
+        return None
+
+    # -- lifecycle hooks (optional) ---------------------------------------------
+
+    def on_job_arrival(self, job: "SimJob") -> None:
+        """A job just arrived (override to set up per-job state)."""
+
+    def on_task_launched(self, job: "SimJob", task: "Task") -> None:
+        """A task of ``job`` was just granted a container."""
+
+    def on_task_complete(self, job: "SimJob", task: "Task") -> None:
+        """A task finished; ``task.duration`` is a fresh runtime sample."""
+
+    def on_task_failed(self, job: "SimJob", task: "Task") -> None:
+        """A task attempt failed partway; a retry is already queued."""
+
+    def on_job_complete(self, job: "SimJob") -> None:
+        """All of ``job``'s tasks finished."""
+
+    # -- shared helpers ------------------------------------------------------------
+
+    def _candidates(self) -> list:
+        """Active jobs that still have pending tasks."""
+        return [job for job in self.sim.active_jobs if job.pending_count > 0]

@@ -1,0 +1,88 @@
+"""Hadoop Capacity Scheduler — the other industry-default baseline.
+
+The paper's introduction names YARN's capacity scheduler (alongside the
+fair scheduler) as a de-facto standard that ignores completion-times.  We
+ship it for completeness and ablations: the cluster is divided into named
+queues with guaranteed capacity shares; each job maps to a queue (by its
+sensitivity class, by default); within a queue jobs run FIFO; and — as in
+YARN — a queue may *borrow* idle capacity beyond its guarantee when other
+queues have no demand.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.schedulers.base import Scheduler
+
+__all__ = ["CapacityScheduler"]
+
+#: Default queue layout: one queue per sensitivity class, shares roughly
+#: matching the paper's 20/60/20 workload mix.
+DEFAULT_SHARES = {"critical": 0.3, "sensitive": 0.5, "insensitive": 0.2}
+
+
+class CapacityScheduler(Scheduler):
+    """Queue-based capacity sharing with FIFO order inside each queue.
+
+    Parameters
+    ----------
+    queue_shares:
+        Mapping of queue name to its guaranteed capacity fraction; the
+        fractions must sum to 1.
+    queue_for:
+        Maps a :class:`~repro.cluster.job.JobSpec` to its queue name;
+        defaults to the job's sensitivity class.
+    """
+
+    name = "Capacity"
+
+    def __init__(self,
+                 queue_shares: Optional[Dict[str, float]] = None,
+                 queue_for: Optional[Callable] = None) -> None:
+        super().__init__()
+        shares = dict(queue_shares if queue_shares is not None
+                      else DEFAULT_SHARES)
+        if not shares:
+            raise ConfigurationError("at least one queue is required")
+        if any(s <= 0 for s in shares.values()):
+            raise ConfigurationError("queue shares must be positive")
+        total = sum(shares.values())
+        if abs(total - 1.0) > 1e-6:
+            raise ConfigurationError(
+                f"queue shares must sum to 1, got {total}")
+        self._shares = shares
+        self._queue_for = queue_for or (lambda spec: spec.sensitivity)
+
+    def _queue_of(self, job) -> str:
+        queue = self._queue_for(job.spec)
+        if queue not in self._shares:
+            raise ConfigurationError(
+                f"job {job.job_id!r} mapped to unknown queue {queue!r}")
+        return queue
+
+    def select_job(self) -> Optional[str]:
+        candidates = self._candidates()
+        if not candidates:
+            return None
+        # Current usage per queue, counting every active job's containers.
+        usage: Dict[str, int] = {queue: 0 for queue in self._shares}
+        for job in self.sim.active_jobs:
+            usage[self._queue_of(job)] += job.running_count
+
+        by_queue: Dict[str, list] = {}
+        for job in candidates:
+            by_queue.setdefault(self._queue_of(job), []).append(job)
+
+        capacity = self.sim.capacity
+
+        def queue_pressure(queue: str) -> float:
+            # Fraction of the queue's guarantee currently used; the least
+            # loaded queue (relative to its share) is served first, which
+            # both honors guarantees and lets idle capacity be borrowed.
+            return usage[queue] / (self._shares[queue] * capacity)
+
+        queue = min(by_queue, key=lambda q: (queue_pressure(q), q))
+        head = min(by_queue[queue], key=lambda j: (j.arrival, j.job_id))
+        return head.job_id

@@ -1,0 +1,29 @@
+"""FIFO scheduling — the default Hadoop policy and a Figure 4/6 baseline.
+
+Jobs are served strictly "according to the order of their arrival time":
+the earliest-arrived job with pending tasks receives every free container
+until it runs out of tasks.  The paper highlights the resulting
+head-of-line blocking — one long, time-insensitive job at the head starves
+every time-critical job behind it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.schedulers.base import Scheduler
+
+__all__ = ["FifoScheduler"]
+
+
+class FifoScheduler(Scheduler):
+    """Grant all containers to the earliest-arrived job with pending work."""
+
+    name = "FIFO"
+
+    def select_job(self) -> Optional[str]:
+        candidates = self._candidates()
+        if not candidates:
+            return None
+        head = min(candidates, key=lambda job: (job.arrival, job.job_id))
+        return head.job_id

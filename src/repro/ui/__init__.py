@@ -1,0 +1,15 @@
+"""Management-interface rendering (the paper's Figure 2 status page)."""
+
+from repro.ui.status import (
+    render_cluster_text,
+    render_status_html,
+    render_status_text,
+    status_rows,
+)
+
+__all__ = [
+    "status_rows",
+    "render_status_text",
+    "render_status_html",
+    "render_cluster_text",
+]

@@ -1,0 +1,125 @@
+"""Management-interface rendering — the paper's Figure 2.
+
+The RUSH-YARN prototype ships an "enhanced HTTP management interface that
+is able to provide a projected completion-time for all the jobs" and
+highlights, in red, jobs that cannot finish before their utility drops to
+zero, prompting the user to resubmit with a new configuration.
+
+This module reproduces that interface as pure rendering: given a
+:class:`~repro.core.planner.SchedulePlan` (and optionally live cluster
+state), it produces the same status table as plain text — with a ``!!``
+marker standing in for the red rows — or as a minimal self-contained HTML
+page with the rows literally colored red.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.analysis.report import format_table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.simulator import ClusterSimulator
+    from repro.core.planner import SchedulePlan
+
+__all__ = ["status_rows", "render_status_text", "render_status_html",
+           "render_cluster_text"]
+
+_COLUMNS = ["job", "robust demand", "target T", "projected T",
+            "predicted utility", "status"]
+
+
+def status_rows(plan: "SchedulePlan") -> List[List[object]]:
+    """The status table's rows, one per job, in plan order."""
+    rows: List[List[object]] = []
+    for job_id in plan._order:
+        decision = plan.jobs[job_id]
+        status = "ok" if decision.achievable else "IMPOSSIBLE"
+        rows.append([
+            job_id,
+            decision.robust_demand,
+            decision.target_completion,
+            decision.planned_completion,
+            decision.predicted_utility,
+            status,
+        ])
+    return rows
+
+
+def render_status_text(plan: "SchedulePlan") -> str:
+    """The Figure 2 table as plain text; ``!!`` marks the red rows."""
+    rows = []
+    for row in status_rows(plan):
+        marker = "!!" if row[-1] == "IMPOSSIBLE" else "  "
+        rows.append([marker] + row)
+    table = format_table(["", *_COLUMNS], rows, digits=1)
+    header = (f"RUSH scheduler status — theta={plan.theta}, "
+              f"horizon={plan.horizon} slots, "
+              f"{plan.layers} onion layers, solved in "
+              f"{plan.solve_seconds * 1e3:.1f} ms")
+    impossible = plan.impossible_jobs()
+    footer = ("" if not impossible else
+              "\n!! jobs cannot reach positive utility; resubmit with a "
+              "new job configuration: " + ", ".join(impossible))
+    return f"{header}\n\n{table}{footer}"
+
+
+def render_status_html(plan: "SchedulePlan", title: str = "RUSH scheduler") -> str:
+    """The Figure 2 table as a self-contained HTML page.
+
+    Impossible jobs are rendered as literal red rows, exactly like the
+    screenshot in the paper.
+    """
+    body_rows = []
+    for row in status_rows(plan):
+        impossible = row[-1] == "IMPOSSIBLE"
+        style = ' style="background:#c0392b;color:#fff"' if impossible else ""
+        cells = "".join(
+            f"<td>{html.escape(_fmt(cell))}</td>" for cell in row)
+        body_rows.append(f"<tr{style}>{cells}</tr>")
+    head_cells = "".join(f"<th>{html.escape(c)}</th>" for c in _COLUMNS)
+    return (
+        "<!DOCTYPE html><html><head>"
+        f"<title>{html.escape(title)}</title>"
+        "<style>table{border-collapse:collapse}"
+        "td,th{border:1px solid #999;padding:4px 8px;"
+        "font-family:monospace}</style></head><body>"
+        f"<h1>{html.escape(title)}</h1>"
+        f"<p>theta={plan.theta}, horizon={plan.horizon} slots, "
+        f"{plan.layers} onion layers</p>"
+        f"<table><thead><tr>{head_cells}</tr></thead>"
+        f"<tbody>{''.join(body_rows)}</tbody></table>"
+        "</body></html>")
+
+
+def render_cluster_text(sim: "ClusterSimulator",
+                        plan: Optional["SchedulePlan"] = None) -> str:
+    """A live cluster snapshot: containers, active jobs, optional plan."""
+    busy = sim.capacity - sim.free_container_count
+    lines = [
+        f"slot {sim.now}: {busy}/{sim.capacity} containers busy, "
+        f"{len(sim.active_jobs)} active job(s), "
+        f"{sim.task_failures} task failure(s) so far",
+    ]
+    rows = []
+    for job in sorted(sim.active_jobs, key=lambda j: j.arrival):
+        rows.append([
+            job.job_id, job.spec.sensitivity, job.arrival,
+            job.running_count, job.pending_count, job.completed_count,
+            job.failed_count,
+        ])
+    if rows:
+        lines.append(format_table(
+            ["job", "class", "arrived", "running", "pending", "done",
+             "failed"], rows))
+    if plan is not None:
+        lines.append("")
+        lines.append(render_status_text(plan))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.1f}"
+    return str(cell)

@@ -1,0 +1,27 @@
+"""Utility functions of job completion-time (Section IV of the paper)."""
+
+from repro.utility.base import UtilityFunction
+from repro.utility.config import (
+    register_utility_class,
+    utility_from_config,
+    utility_from_xml,
+    utility_to_config,
+)
+from repro.utility.constant import ConstantUtility
+from repro.utility.linear import LinearUtility
+from repro.utility.piecewise import PiecewiseUtility
+from repro.utility.sigmoid import SigmoidUtility
+from repro.utility.step import StepUtility
+
+__all__ = [
+    "UtilityFunction",
+    "LinearUtility",
+    "SigmoidUtility",
+    "ConstantUtility",
+    "StepUtility",
+    "PiecewiseUtility",
+    "utility_from_config",
+    "utility_to_config",
+    "utility_from_xml",
+    "register_utility_class",
+]

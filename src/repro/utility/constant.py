@@ -1,0 +1,48 @@
+"""Constant utility class from Section IV of the paper.
+
+A constant utility describes a completion-time *insensitive* job: it is
+worth its priority ``W`` no matter when it finishes.  Under lexicographic
+max-min fairness such jobs are natural donors of capacity — delaying them
+costs nothing, which is exactly how RUSH protects time-critical jobs in
+the paper's experiments.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.utility.base import UtilityFunction
+
+__all__ = ["ConstantUtility"]
+
+
+class ConstantUtility(UtilityFunction):
+    """``U(T) = priority`` for every completion-time ``T``."""
+
+    __slots__ = ("priority",)
+
+    def __init__(self, priority: float) -> None:
+        self.priority = self._require_non_negative("priority", priority)
+
+    def value(self, completion_time: float) -> float:
+        return self.priority
+
+    def max_value(self) -> float:
+        return self.priority
+
+    def min_value(self) -> float:
+        return self.priority
+
+    def deadline_for(self, level: float) -> float:
+        return math.inf if level <= self.priority else -math.inf
+
+    def __repr__(self) -> str:
+        return f"ConstantUtility(priority={self.priority})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConstantUtility):
+            return NotImplemented
+        return self.priority == other.priority
+
+    def __hash__(self) -> int:
+        return hash(("ConstantUtility", self.priority))

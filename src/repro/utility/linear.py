@@ -1,0 +1,72 @@
+"""Piece-wise linear utility class from Section IV of the paper.
+
+Given a completion-time ``T``, the linear class produces
+``max(beta * (B - T) + W, 0)``: the job is worth ``beta * B + W`` when it
+finishes instantly, decays linearly at rate ``beta`` and bottoms out at
+zero once it is hopelessly late.  It models completion-time *sensitive*
+jobs whose value erodes steadily with delay.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.utility.base import UtilityFunction
+
+__all__ = ["LinearUtility"]
+
+
+class LinearUtility(UtilityFunction):
+    """``U(T) = max(beta * (budget - T) + priority, 0)``.
+
+    Parameters
+    ----------
+    budget:
+        Time budget ``B`` in slots; the utility equals ``priority`` exactly
+        at the budget.
+    priority:
+        Priority value ``W`` — the utility still awarded at the budget.
+    beta:
+        Sensitivity ``beta > 0``: utility lost per slot of delay.
+    """
+
+    __slots__ = ("budget", "priority", "beta")
+
+    def __init__(self, budget: float, priority: float, beta: float = 1.0) -> None:
+        self.budget = self._require_non_negative("budget", budget)
+        self.priority = self._require_non_negative("priority", priority)
+        self.beta = self._require_positive("beta", beta)
+
+    def value(self, completion_time: float) -> float:
+        return max(self.beta * (self.budget - completion_time) + self.priority, 0.0)
+
+    def max_value(self) -> float:
+        return self.beta * self.budget + self.priority
+
+    def min_value(self) -> float:
+        return 0.0
+
+    def deadline_for(self, level: float) -> float:
+        if level <= 0.0:
+            return math.inf
+        if level > self.max_value():
+            return -math.inf
+        # Solve beta * (B - T) + W = level for T.
+        return self.budget + (self.priority - level) / self.beta
+
+    def zero_utility_time(self) -> float:
+        """First completion-time at which the utility hits zero."""
+        return self.budget + self.priority / self.beta
+
+    def __repr__(self) -> str:
+        return (f"LinearUtility(budget={self.budget}, priority={self.priority}, "
+                f"beta={self.beta})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LinearUtility):
+            return NotImplemented
+        return (self.budget, self.priority, self.beta) == (
+            other.budget, other.priority, other.beta)
+
+    def __hash__(self) -> int:
+        return hash(("LinearUtility", self.budget, self.priority, self.beta))

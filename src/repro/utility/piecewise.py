@@ -1,0 +1,88 @@
+"""General piece-wise linear utility defined by breakpoints.
+
+This generalizes :class:`repro.utility.linear.LinearUtility` to an
+arbitrary non-increasing polyline, which lets tests and power users encode
+service-level agreements with several tiers ("full value within an hour,
+half value within two, nothing after four").
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Iterable, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.utility.base import UtilityFunction
+
+__all__ = ["PiecewiseUtility"]
+
+
+class PiecewiseUtility(UtilityFunction):
+    """Non-increasing polyline through ``(time, utility)`` breakpoints.
+
+    Before the first breakpoint the utility is flat at the first value;
+    after the last breakpoint it is flat at the last value.  Breakpoint
+    times must be strictly increasing and utilities non-increasing.
+    """
+
+    __slots__ = ("_times", "_values")
+
+    def __init__(self, points: Iterable[Tuple[float, float]]) -> None:
+        pts = sorted((float(t), float(u)) for t, u in points)
+        if len(pts) < 1:
+            raise ConfigurationError("PiecewiseUtility needs at least one breakpoint")
+        times = [t for t, _ in pts]
+        values = [u for _, u in pts]
+        if len(set(times)) != len(times):
+            raise ConfigurationError("breakpoint times must be strictly increasing")
+        if any(t < 0 for t in times):
+            raise ConfigurationError("breakpoint times must be non-negative")
+        if any(b > a for a, b in zip(values, values[1:])):
+            raise ConfigurationError("breakpoint utilities must be non-increasing")
+        if any(not math.isfinite(u) or u < 0 for u in values):
+            raise ConfigurationError("breakpoint utilities must be finite and >= 0")
+        self._times: Sequence[float] = tuple(times)
+        self._values: Sequence[float] = tuple(values)
+
+    @property
+    def breakpoints(self) -> Tuple[Tuple[float, float], ...]:
+        return tuple(zip(self._times, self._values))
+
+    def value(self, completion_time: float) -> float:
+        times, values = self._times, self._values
+        if completion_time <= times[0]:
+            return values[0]
+        if completion_time >= times[-1]:
+            return values[-1]
+        j = bisect.bisect_right(times, completion_time)
+        t0, t1 = times[j - 1], times[j]
+        u0, u1 = values[j - 1], values[j]
+        frac = (completion_time - t0) / (t1 - t0)
+        return u0 + frac * (u1 - u0)
+
+    def max_value(self) -> float:
+        return self._values[0]
+
+    def min_value(self) -> float:
+        return self._values[-1]
+
+    def deadline_for(self, level: float) -> float:
+        if level <= self.min_value():
+            return math.inf
+        if level > self.max_value():
+            return -math.inf
+        times, values = self._times, self._values
+        # Walk segments to the first one that crosses below `level`.
+        for j in range(1, len(times)):
+            if values[j] < level:
+                u0, u1 = values[j - 1], values[j]
+                t0, t1 = times[j - 1], times[j]
+                if u0 == u1:  # pragma: no cover - flat segment cannot cross
+                    continue
+                return t0 + (u0 - level) / (u0 - u1) * (t1 - t0)
+        # level is attained exactly at the final flat tail's start.
+        return times[-1]
+
+    def __repr__(self) -> str:
+        return f"PiecewiseUtility({list(self.breakpoints)!r})"

@@ -1,0 +1,71 @@
+"""Sigmoid utility class from Section IV of the paper.
+
+The sigmoid class models jobs whose value stays near the full priority
+``W`` while the completion-time is within the budget ``B`` and then drops,
+with the sensitivity coefficient ``beta`` controlling how steep the drop
+is: a large ``beta`` describes a time-*critical* job (utility collapses
+right after the budget), a small ``beta`` a time-*sensitive* one (gradual
+decay).
+
+.. note::
+   The paper prints the formula as ``W / (1 + e^{beta (B - T)})``, which
+   *increases* with ``T`` and contradicts the paper's own requirement that
+   utilities be non-increasing (Section II).  We implement the evident
+   intent, ``W / (1 + e^{beta (T - B)})``, which is worth ``W/2`` exactly
+   at the budget and decays beyond it.  This erratum is recorded in
+   DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.utility.base import UtilityFunction
+
+__all__ = ["SigmoidUtility"]
+
+
+class SigmoidUtility(UtilityFunction):
+    """``U(T) = priority / (1 + exp(beta * (T - budget)))``."""
+
+    __slots__ = ("budget", "priority", "beta")
+
+    def __init__(self, budget: float, priority: float, beta: float = 0.5) -> None:
+        self.budget = self._require_non_negative("budget", budget)
+        self.priority = self._require_positive("priority", priority)
+        self.beta = self._require_positive("beta", beta)
+
+    def value(self, completion_time: float) -> float:
+        z = self.beta * (completion_time - self.budget)
+        if z > 700.0:  # exp would overflow; the utility is numerically zero
+            return 0.0
+        return self.priority / (1.0 + math.exp(z))
+
+    def max_value(self) -> float:
+        return self.value(0.0)
+
+    def min_value(self) -> float:
+        return 0.0
+
+    def deadline_for(self, level: float) -> float:
+        if level <= 0.0:
+            return math.inf
+        if level > self.max_value():
+            return -math.inf
+        if level >= self.priority:  # only possible when level == max == priority edge
+            return 0.0
+        # Solve priority / (1 + exp(beta (T - B))) = level for T.
+        return self.budget + math.log(self.priority / level - 1.0) / self.beta
+
+    def __repr__(self) -> str:
+        return (f"SigmoidUtility(budget={self.budget}, priority={self.priority}, "
+                f"beta={self.beta})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SigmoidUtility):
+            return NotImplemented
+        return (self.budget, self.priority, self.beta) == (
+            other.budget, other.priority, other.beta)
+
+    def __hash__(self) -> int:
+        return hash(("SigmoidUtility", self.budget, self.priority, self.beta))

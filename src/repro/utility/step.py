@@ -1,0 +1,54 @@
+"""Hard-deadline (step) utility — an extension beyond the paper's classes.
+
+The paper ships piece-wise linear, sigmoid and constant classes and
+"encourages users to submit their own".  A step utility is the natural
+fourth member: full priority on time, zero afterwards, i.e. a *hard*
+deadline in the classical real-time-systems sense.  It is also the
+``beta -> inf`` limit of :class:`repro.utility.sigmoid.SigmoidUtility`,
+which makes it a useful oracle in tests.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.utility.base import UtilityFunction
+
+__all__ = ["StepUtility"]
+
+
+class StepUtility(UtilityFunction):
+    """``U(T) = priority`` if ``T <= budget`` else ``0``."""
+
+    __slots__ = ("budget", "priority")
+
+    def __init__(self, budget: float, priority: float) -> None:
+        self.budget = self._require_non_negative("budget", budget)
+        self.priority = self._require_positive("priority", priority)
+
+    def value(self, completion_time: float) -> float:
+        return self.priority if completion_time <= self.budget else 0.0
+
+    def max_value(self) -> float:
+        return self.priority
+
+    def min_value(self) -> float:
+        return 0.0
+
+    def deadline_for(self, level: float) -> float:
+        if level <= 0.0:
+            return math.inf
+        if level > self.priority:
+            return -math.inf
+        return self.budget
+
+    def __repr__(self) -> str:
+        return f"StepUtility(budget={self.budget}, priority={self.priority})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StepUtility):
+            return NotImplemented
+        return (self.budget, self.priority) == (other.budget, other.priority)
+
+    def __hash__(self) -> int:
+        return hash(("StepUtility", self.budget, self.priority))

@@ -1,0 +1,18 @@
+"""Workload generation: PUMA-like templates, Poisson arrivals, traces."""
+
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator, generate_workload
+from repro.workload.templates import PUMA_TEMPLATES, JobTemplate, template_by_name
+from repro.workload.trace import load_trace, save_trace, spec_from_dict, spec_to_dict
+
+__all__ = [
+    "JobTemplate",
+    "PUMA_TEMPLATES",
+    "template_by_name",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "generate_workload",
+    "save_trace",
+    "load_trace",
+    "spec_to_dict",
+    "spec_from_dict",
+]

@@ -1,0 +1,99 @@
+"""Trace files: JSON-lines serialization of workloads.
+
+A generated workload can be frozen to disk and replayed later (or shared
+between the benchmark harness and external tooling), which keeps
+experiments reproducible independent of numpy's bit-generator evolution.
+Each line is one job; utilities round-trip through the same configuration
+mapping the job-submission interface uses.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.errors import ConfigurationError
+from repro.cluster.job import JobSpec
+from repro.utility.config import utility_from_config, utility_to_config
+
+__all__ = ["spec_to_dict", "spec_from_dict", "save_trace", "load_trace"]
+
+_FORMAT_VERSION = 1
+
+
+def spec_to_dict(spec: JobSpec) -> dict:
+    """Serialize one job spec to a JSON-compatible mapping."""
+    return {
+        "job_id": spec.job_id,
+        "arrival": spec.arrival,
+        "task_durations": list(spec.task_durations),
+        "utility": utility_to_config(spec.utility),
+        "priority": spec.priority,
+        "budget": spec.budget if math.isfinite(spec.budget) else None,
+        "benchmark_runtime": (spec.benchmark_runtime
+                              if not math.isnan(spec.benchmark_runtime) else None),
+        "sensitivity": spec.sensitivity,
+        "template": spec.template,
+        "prior_runtime": spec.prior_runtime,
+        "failure_prob": spec.failure_prob,
+    }
+
+
+def spec_from_dict(data: dict) -> JobSpec:
+    """Deserialize one job spec from its mapping form."""
+    try:
+        budget = data.get("budget")
+        benchmark = data.get("benchmark_runtime")
+        return JobSpec(
+            job_id=data["job_id"],
+            arrival=int(data["arrival"]),
+            task_durations=tuple(int(d) for d in data["task_durations"]),
+            utility=utility_from_config(data["utility"]),
+            priority=float(data.get("priority", 1.0)),
+            budget=float(budget) if budget is not None else math.inf,
+            benchmark_runtime=(float(benchmark) if benchmark is not None
+                               else math.nan),
+            sensitivity=data.get("sensitivity", "sensitive"),
+            template=data.get("template", ""),
+            prior_runtime=(float(data["prior_runtime"])
+                           if data.get("prior_runtime") is not None else None),
+            failure_prob=float(data.get("failure_prob", 0.0)))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(f"malformed trace record: {exc}") from None
+
+
+def save_trace(specs: Iterable[JobSpec], path: Union[str, Path]) -> None:
+    """Write a workload to a JSON-lines trace file."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(json.dumps({"format": "rush-trace", "version": _FORMAT_VERSION}))
+        handle.write("\n")
+        for spec in specs:
+            handle.write(json.dumps(spec_to_dict(spec), sort_keys=True))
+            handle.write("\n")
+
+
+def load_trace(path: Union[str, Path]) -> List[JobSpec]:
+    """Read a workload back from a JSON-lines trace file."""
+    path = Path(path)
+    specs: List[JobSpec] = []
+    with path.open("r", encoding="utf-8") as handle:
+        header_line = handle.readline()
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"malformed trace header: {exc}") from None
+        if header.get("format") != "rush-trace":
+            raise ConfigurationError(
+                f"not a rush trace file (header {header!r})")
+        if header.get("version") != _FORMAT_VERSION:
+            raise ConfigurationError(
+                f"unsupported trace version {header.get('version')!r}")
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            specs.append(spec_from_dict(json.loads(line)))
+    return specs

@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.estimation.pmf import Pmf
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def gaussian_pmf() -> Pmf:
+    """A moderately wide discretized Gaussian reference distribution."""
+    return Pmf.from_gaussian(mean=100.0, std=15.0, tau_max=200)
+
+
+@pytest.fixture
+def skewed_pmf() -> Pmf:
+    """A right-skewed reference with a straggler tail."""
+    probs = np.zeros(301)
+    probs[40:61] = 4.0
+    probs[61:301] = np.geomspace(1.0, 0.001, 240)
+    return Pmf(probs, normalize=True)

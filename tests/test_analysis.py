@@ -1,0 +1,120 @@
+"""Tests for the analysis toolkit (boxplots, CDFs, tables)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.analysis import (
+    boxplot_stats,
+    ecdf,
+    ecdf_at,
+    format_boxplots,
+    format_cdf_table,
+    format_number,
+    format_table,
+    summarize,
+)
+
+samples = st.lists(st.floats(min_value=-1e4, max_value=1e4,
+                             allow_nan=False), min_size=1, max_size=50)
+
+
+class TestBoxplotStats:
+    def test_simple(self):
+        stats = boxplot_stats([1, 2, 3, 4, 5])
+        assert stats.median == 3
+        assert stats.q1 == 2 and stats.q3 == 4
+        assert stats.whisker_low == 1 and stats.whisker_high == 5
+        assert stats.outliers == ()
+        assert stats.iqr == 2
+
+    def test_outlier_detection(self):
+        stats = boxplot_stats([1, 2, 3, 4, 5, 100])
+        assert 100 in stats.outliers
+        assert stats.whisker_high <= 5
+
+    def test_nan_filtered(self):
+        stats = boxplot_stats([1.0, float("nan"), 3.0])
+        assert stats.n == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            boxplot_stats([])
+
+    @settings(max_examples=50)
+    @given(samples)
+    def test_ordering_invariants(self, values):
+        stats = boxplot_stats(values)
+        assert (stats.whisker_low <= stats.q1 <= stats.median
+                <= stats.q3 <= stats.whisker_high)
+        assert stats.n == len(values)
+
+
+class TestEcdf:
+    def test_values_and_fractions(self):
+        xs, fs = ecdf([3, 1, 2])
+        assert list(xs) == [1, 2, 3]
+        assert list(fs) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_ecdf_at(self):
+        values = [1, 2, 3, 4]
+        assert ecdf_at(values, 0) == 0.0
+        assert ecdf_at(values, 2) == 0.5
+        assert ecdf_at(values, 10) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ecdf([])
+        with pytest.raises(ConfigurationError):
+            ecdf_at([], 0.0)
+
+    @settings(max_examples=50)
+    @given(samples, st.floats(min_value=-1e5, max_value=1e5, allow_nan=False))
+    def test_monotone(self, values, x):
+        assert ecdf_at(values, x) <= ecdf_at(values, x + 1.0) + 1e-12
+
+
+class TestSummarize:
+    def test_five_numbers(self):
+        s = summarize([1, 2, 3, 4, 5])
+        assert s.minimum == 1 and s.maximum == 5
+        assert s.median == 3 and s.mean == 3
+        assert s.n == 5
+
+    def test_single_value_std_zero(self):
+        assert summarize([7.0]).std == 0.0
+
+
+class TestFormatting:
+    def test_format_number(self):
+        assert format_number(1.234, 2) == "1.23"
+        assert format_number(float("nan")) == "-"
+        assert format_number(float("inf")) == "inf"
+        assert format_number(-float("inf")) == "-inf"
+        assert format_number(7) == "7"
+
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.5], ["bb", 22.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_format_boxplots(self):
+        stats = {"RUSH": boxplot_stats([1, 2, 3]),
+                 "FIFO": boxplot_stats([4, 5, 6])}
+        text = format_boxplots(stats)
+        assert "RUSH" in text and "FIFO" in text
+        assert "median" in text
+
+    def test_format_cdf_table(self):
+        text = format_cdf_table({"a": [1, 2, 3], "b": [2, 3, 4]}, grid=[2, 4])
+        lines = text.splitlines()
+        assert lines[0].split() == ["x", "a", "b"]
+        assert "0.67" in text  # P(a <= 2)

@@ -1,0 +1,80 @@
+"""Tests for the Capacity Scheduler baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.cluster import JobSpec, run_simulation
+from repro.schedulers import CapacityScheduler
+from repro.utility import LinearUtility
+
+
+def spec(job_id, sensitivity="sensitive", arrival=0, durations=(4, 4),
+         **kw):
+    return JobSpec(job_id=job_id, arrival=arrival,
+                   task_durations=tuple(durations),
+                   utility=LinearUtility(100.0, 1.0), budget=100.0,
+                   sensitivity=sensitivity, **kw)
+
+
+class TestValidation:
+    def test_shares_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError):
+            CapacityScheduler({"a": 0.5, "b": 0.6})
+
+    def test_shares_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            CapacityScheduler({"a": 1.2, "b": -0.2})
+
+    def test_empty_queues_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CapacityScheduler({})
+
+    def test_unknown_queue_mapping(self):
+        scheduler = CapacityScheduler({"only": 1.0},
+                                      queue_for=lambda s: "other")
+        with pytest.raises(ConfigurationError):
+            run_simulation([spec("a")], 2, scheduler)
+
+
+class TestSharing:
+    def test_guarantees_respected_under_contention(self):
+        """With both queues saturated, shares split capacity ~50/50."""
+        scheduler = CapacityScheduler({"critical": 0.5, "sensitive": 0.5})
+        specs = [
+            spec("crit", sensitivity="critical", durations=(4,) * 8),
+            spec("sens", sensitivity="sensitive", durations=(4,) * 8),
+        ]
+        result = run_simulation(specs, 4, scheduler)
+        runtimes = {r.job_id: r.runtime for r in result.records}
+        # each job gets ~2 containers: 8 tasks x 4 slots / 2 = 16 slots
+        assert runtimes["crit"] == pytest.approx(16.0, abs=4.0)
+        assert runtimes["sens"] == pytest.approx(16.0, abs=4.0)
+
+    def test_idle_capacity_is_borrowed(self):
+        """A lone queue may exceed its guarantee when others are empty."""
+        scheduler = CapacityScheduler({"critical": 0.25, "sensitive": 0.75})
+        specs = [spec("crit", sensitivity="critical", durations=(4,) * 8)]
+        result = run_simulation(specs, 4, scheduler)
+        # 8 tasks x 4 slots on all 4 containers = 8 slots, not 32.
+        assert result.records[0].runtime == 8.0
+
+    def test_fifo_within_queue(self):
+        scheduler = CapacityScheduler({"sensitive": 1.0})
+        specs = [
+            spec("late", arrival=1, durations=(3, 3)),
+            spec("early", arrival=0, durations=(3, 3)),
+        ]
+        result = run_simulation(specs, 1, scheduler)
+        by_id = {r.job_id: r.arrival + r.runtime for r in result.records}
+        assert by_id["early"] < by_id["late"]
+
+    def test_default_shares_cover_sensitivities(self):
+        specs = [
+            spec("a", sensitivity="critical"),
+            spec("b", sensitivity="sensitive"),
+            spec("c", sensitivity="insensitive"),
+        ]
+        result = run_simulation(specs, 3, CapacityScheduler())
+        assert result.completed_count == 3

@@ -1,0 +1,97 @@
+"""Tests for the `rush` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.workload import load_trace
+
+
+def run_cli(*argv):
+    return main(list(argv))
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["simulate", "--trace", "x", "--policy", "quincy"])
+
+
+class TestGenerate:
+    def test_writes_loadable_trace(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        code = run_cli("generate", "--out", str(out), "--jobs", "5",
+                       "--capacity", "4", "--time-scale", "0.25",
+                       "--interarrival", "100")
+        assert code == 0
+        assert "wrote 5 jobs" in capsys.readouterr().out
+        specs = load_trace(out)
+        assert len(specs) == 5
+
+    def test_failure_prob_propagates(self, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        run_cli("generate", "--out", str(out), "--jobs", "3",
+                "--time-scale", "0.25", "--failure-prob", "0.1")
+        assert all(s.failure_prob == 0.1 for s in load_trace(out))
+
+    def test_bad_config_is_reported(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        code = run_cli("generate", "--out", str(out), "--jobs", "0")
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+@pytest.fixture
+def small_trace(tmp_path):
+    out = tmp_path / "trace.jsonl"
+    run_cli("generate", "--out", str(out), "--jobs", "5", "--capacity", "4",
+            "--time-scale", "0.25", "--interarrival", "150", "--seed", "3")
+    return out
+
+
+class TestSimulate:
+    @pytest.mark.parametrize("policy", ["fifo", "edf", "fair", "capacity",
+                                        "rrh", "rush"])
+    def test_each_policy_runs(self, small_trace, capsys, policy):
+        code = run_cli("simulate", "--trace", str(small_trace),
+                       "--capacity", "4", "--policy", policy)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "completed=5/5" in out
+
+    def test_missing_trace_reports_error(self, tmp_path, capsys):
+        with pytest.raises(FileNotFoundError):
+            run_cli("simulate", "--trace", str(tmp_path / "nope.jsonl"))
+
+
+class TestCompare:
+    def test_summary_and_ranking(self, capsys):
+        code = run_cli("compare", "--jobs", "5", "--capacity", "4",
+                       "--seeds", "0", "--policies", "fifo", "rush")
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FIFO" in out and "RUSH" in out
+        assert "lexicographic max-min ranking" in out
+
+
+class TestPlan:
+    def test_prints_status_table(self, small_trace, capsys):
+        code = run_cli("plan", "--trace", str(small_trace),
+                       "--capacity", "4")
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RUSH scheduler status" in out
+        assert "job-0000" in out
+
+    def test_writes_html(self, small_trace, tmp_path, capsys):
+        page = tmp_path / "status.html"
+        code = run_cli("plan", "--trace", str(small_trace),
+                       "--capacity", "4", "--html", str(page))
+        assert code == 0
+        assert page.read_text().startswith("<!DOCTYPE html>")

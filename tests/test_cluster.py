@@ -1,0 +1,230 @@
+"""Tests for tasks, jobs, containers and the cluster simulator."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.cluster import (
+    ClusterSimulator,
+    Container,
+    JobSpec,
+    SimJob,
+    Task,
+    TaskState,
+    run_simulation,
+)
+from repro.cluster.metrics import JobRecord, lexicographic_compare
+from repro.schedulers import FifoScheduler
+from repro.utility import ConstantUtility, LinearUtility
+
+
+def spec(job_id="j", arrival=0, durations=(3, 3), budget=50.0, **kw):
+    return JobSpec(job_id=job_id, arrival=arrival,
+                   task_durations=tuple(durations),
+                   utility=kw.pop("utility", LinearUtility(budget, 1.0)),
+                   budget=budget, **kw)
+
+
+class TestTask:
+    def test_lifecycle(self):
+        task = Task("t", "j", duration=2)
+        assert task.state is TaskState.PENDING
+        task.launch(5)
+        assert task.state is TaskState.RUNNING
+        assert not task.advance(5)
+        assert task.advance(6)
+        assert task.state is TaskState.COMPLETED
+        assert task.start_time == 5
+        assert task.finish_time == 7
+
+    def test_double_launch_rejected(self):
+        task = Task("t", "j", duration=1)
+        task.launch(0)
+        with pytest.raises(SimulationError):
+            task.launch(1)
+
+    def test_advance_without_launch_rejected(self):
+        with pytest.raises(SimulationError):
+            Task("t", "j", duration=1).advance(0)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(SimulationError):
+            Task("t", "j", duration=0)
+
+
+class TestContainer:
+    def test_assign_and_finish(self):
+        c = Container(0)
+        task = Task("t", "j", duration=1)
+        c.assign(task, 0)
+        assert not c.is_free
+        finished = c.advance(0)
+        assert finished is task
+        assert c.is_free
+
+    def test_double_assign_rejected(self):
+        c = Container(0)
+        c.assign(Task("t1", "j", duration=5), 0)
+        with pytest.raises(SimulationError):
+            c.assign(Task("t2", "j", duration=5), 0)
+
+    def test_advance_idle_is_noop(self):
+        assert Container(0).advance(0) is None
+
+
+class TestJobSpec:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            spec(arrival=-1)
+        with pytest.raises(ConfigurationError):
+            spec(durations=())
+        with pytest.raises(ConfigurationError):
+            spec(durations=(0,))
+        with pytest.raises(ConfigurationError):
+            spec(sensitivity="urgent")
+
+    def test_total_work_and_deadline(self):
+        s = spec(durations=(2, 3, 4), budget=10.0, arrival=5)
+        assert s.total_work == 9
+        assert s.deadline == 15.0
+
+
+class TestSimJob:
+    def test_bookkeeping(self):
+        job = SimJob(spec(durations=(1, 2)))
+        assert job.pending_count == 2
+        task = job.next_pending()
+        task.launch(0)
+        job.note_launched()
+        assert job.pending_count == 1 and job.running_count == 1
+        task.advance(0)
+        assert job.note_completed(task)
+        assert job.completed_count == 1
+        assert not job.is_complete
+        assert job.runtime_samples() == [1.0]
+
+    def test_completion_time(self):
+        job = SimJob(spec(durations=(2,)))
+        assert job.completion_time is None
+        task = job.next_pending()
+        task.launch(3)
+        job.note_launched()
+        task.advance(3), task.advance(4)
+        job.note_completed(task)
+        assert job.is_complete
+        assert job.completion_time == 5
+
+    def test_elapsed(self):
+        job = SimJob(spec(arrival=10))
+        assert job.elapsed(15) == 5
+        assert job.elapsed(5) == 0
+
+
+class TestSimulator:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            ClusterSimulator(0, FifoScheduler())
+
+    def test_duplicate_submission(self):
+        sim = ClusterSimulator(2, FifoScheduler())
+        sim.submit(spec())
+        with pytest.raises(SimulationError):
+            sim.submit(spec())
+
+    def test_late_submission_rejected(self):
+        sim = ClusterSimulator(1, FifoScheduler())
+        sim.submit(spec(job_id="a", durations=(1,)))
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.submit(spec(job_id="b", arrival=0))
+
+    def test_scheduler_rebind_rejected(self):
+        scheduler = FifoScheduler()
+        ClusterSimulator(1, scheduler)
+        with pytest.raises(SimulationError):
+            ClusterSimulator(1, scheduler)
+
+    def test_single_job_timing(self):
+        # 4 tasks x 3 slots on 2 containers: two waves -> 6 slots.
+        result = run_simulation([spec(durations=(3, 3, 3, 3))], 2,
+                                FifoScheduler())
+        record = result.records[0]
+        assert record.runtime == 6.0
+        assert record.completed
+        assert result.slots_simulated == 6
+
+    def test_arrival_offsets_runtime(self):
+        result = run_simulation([spec(arrival=10, durations=(2,))], 1,
+                                FifoScheduler())
+        record = result.records[0]
+        assert record.runtime == 2.0
+        assert result.slots_simulated == 12
+
+    def test_capacity_is_respected(self):
+        class Spy(FifoScheduler):
+            max_busy = 0
+
+            def select_job(self):
+                busy = sum(1 for c in self.sim.containers if not c.is_free)
+                Spy.max_busy = max(Spy.max_busy, busy)
+                return super().select_job()
+
+        specs = [spec(job_id=f"j{i}", durations=(2,) * 6) for i in range(4)]
+        run_simulation(specs, 3, Spy())
+        assert Spy.max_busy <= 3
+
+    def test_task_continuity(self):
+        """A launched task occupies one container contiguously."""
+        result = run_simulation([spec(durations=(5, 5))], 1, FifoScheduler())
+        assert result.records[0].runtime == 10.0  # strictly serial, no overlap
+
+    def test_busy_slot_accounting(self):
+        result = run_simulation([spec(durations=(3, 3))], 2, FifoScheduler())
+        assert result.busy_container_slots == 6
+        assert result.utilization == pytest.approx(1.0)
+
+    def test_censoring_at_max_slots(self):
+        result = run_simulation([spec(durations=(100,), budget=10.0)], 1,
+                                FifoScheduler(), max_slots=20)
+        record = result.records[0]
+        assert not record.completed
+        assert record.runtime == 20.0
+        assert result.completed_count == 0
+
+    def test_work_conservation(self):
+        """Busy container slots equal total ground-truth work when done."""
+        specs = [spec(job_id=f"j{i}", arrival=i, durations=(2, 3, 1))
+                 for i in range(5)]
+        result = run_simulation(specs, 2, FifoScheduler())
+        assert result.busy_container_slots == sum(s.total_work for s in specs)
+
+
+class TestJobRecord:
+    def test_latency_and_utility(self):
+        s = spec(durations=(4,), budget=10.0, arrival=2)
+        record = JobRecord.from_spec(s, completion=8, horizon=100)
+        assert record.runtime == 6.0
+        assert record.latency == -4.0
+        assert record.utility_value == pytest.approx(s.utility.value(6.0))
+
+    def test_infinite_budget_latency_nan(self):
+        s = JobSpec(job_id="j", arrival=0, task_durations=(1,),
+                    utility=ConstantUtility(1.0))
+        record = JobRecord.from_spec(s, completion=5, horizon=10)
+        assert math.isnan(record.latency)
+
+
+class TestLexicographicCompare:
+    def test_orderings(self):
+        assert lexicographic_compare([1, 2], [1, 2]) == 0
+        assert lexicographic_compare([2, 1], [1, 2]) == 0  # sorted first
+        assert lexicographic_compare([1, 3], [1, 2]) == 1
+        assert lexicographic_compare([0, 9], [1, 2]) == -1
+
+    def test_prefers_higher_minimum(self):
+        rush = [0.5, 0.6, 5.0]
+        fifo = [0.0, 2.0, 9.0]
+        assert lexicographic_compare(rush, fifo) == 1

@@ -1,0 +1,89 @@
+"""Tests for the exponentially-weighted Gaussian estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.estimation import EwmaGaussianEstimator, GaussianEstimator
+
+
+class TestValidation:
+    def test_bad_alpha(self):
+        with pytest.raises(EstimationError):
+            EwmaGaussianEstimator(alpha=0.0)
+        with pytest.raises(EstimationError):
+            EwmaGaussianEstimator(alpha=1.5)
+
+    def test_bad_priors(self):
+        with pytest.raises(EstimationError):
+            EwmaGaussianEstimator(prior_mean=-1)
+        with pytest.raises(EstimationError):
+            EwmaGaussianEstimator(prior_std=-1)
+        with pytest.raises(EstimationError):
+            EwmaGaussianEstimator(min_std_fraction=-0.1)
+
+    def test_no_information_raises(self):
+        with pytest.raises(EstimationError):
+            EwmaGaussianEstimator().estimate(1)
+
+
+class TestMoments:
+    def test_prior_used_before_samples(self):
+        de = EwmaGaussianEstimator(prior_mean=50.0, prior_std=5.0)
+        mean, std = de.task_moments()
+        assert mean == 50.0 and std == 5.0
+
+    def test_single_sample_sets_mean(self):
+        de = EwmaGaussianEstimator(alpha=0.2)
+        de.observe(30.0)
+        mean, std = de.task_moments()
+        assert mean == 30.0
+        assert std >= 0.05 * 30.0  # the min-std floor
+
+    def test_stationary_convergence(self):
+        rng = np.random.default_rng(0)
+        de = EwmaGaussianEstimator(alpha=0.05)
+        de.observe_many(rng.normal(60, 10, size=500).clip(min=1.0))
+        mean, std = de.task_moments()
+        assert mean == pytest.approx(60.0, rel=0.1)
+        assert std == pytest.approx(10.0, rel=0.4)
+
+    def test_alpha_one_tracks_last_sample(self):
+        de = EwmaGaussianEstimator(alpha=1.0)
+        de.observe_many([10.0, 50.0])
+        mean, _ = de.task_moments()
+        assert mean == 50.0
+
+
+class TestDriftTracking:
+    def test_tracks_regime_change_better_than_plain_gaussian(self):
+        """After a runtime regime shift, the EWMA mean is closer to the
+        new regime than the all-history Gaussian mean."""
+        rng = np.random.default_rng(1)
+        old = rng.normal(30, 5, size=200).clip(min=1.0)
+        new = rng.normal(90, 5, size=60).clip(min=1.0)
+
+        ewma = EwmaGaussianEstimator(alpha=0.1)
+        plain = GaussianEstimator(min_samples=2)
+        for sample in np.concatenate([old, new]):
+            ewma.observe(float(sample))
+            plain.observe(float(sample))
+
+        ewma_mean, _ = ewma.task_moments()
+        plain_mean, _ = plain.task_moments()
+        assert abs(ewma_mean - 90.0) < abs(plain_mean - 90.0)
+        assert ewma_mean > 75.0
+
+    def test_demand_scales_with_pending(self):
+        de = EwmaGaussianEstimator(alpha=0.2)
+        de.observe_many([10.0, 12.0, 11.0])
+        small = de.estimate(5)
+        large = de.estimate(50)
+        assert large.mean_demand() == pytest.approx(
+            10 * small.mean_demand(), rel=0.05)
+
+    def test_zero_pending(self):
+        de = EwmaGaussianEstimator(prior_mean=10.0)
+        assert de.estimate(0).mean_demand() == 0.0

@@ -1,0 +1,65 @@
+"""Tests for the Experiment runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Experiment, FifoScheduler, RushScheduler
+from repro.errors import ConfigurationError
+from repro.workload import WorkloadConfig
+
+SMALL = WorkloadConfig(n_jobs=6, capacity=4, mean_interarrival=120.0,
+                       budget_ratio=1.5, size_gb_range=(0.5, 1.0),
+                       time_scale=0.25)
+
+
+@pytest.fixture(scope="module")
+def results():
+    experiment = Experiment(
+        config=SMALL,
+        policies={"FIFO": FifoScheduler, "RUSH": RushScheduler},
+        seeds=(0, 1))
+    return experiment.run()
+
+
+class TestValidation:
+    def test_needs_policies(self):
+        with pytest.raises(ConfigurationError):
+            Experiment(config=SMALL, policies={}, seeds=(0,)).run()
+
+    def test_needs_seeds(self):
+        with pytest.raises(ConfigurationError):
+            Experiment(config=SMALL, policies={"FIFO": FifoScheduler},
+                       seeds=()).run()
+
+    def test_unknown_policy_query(self, results):
+        with pytest.raises(ConfigurationError):
+            results.results_for("Quincy")
+
+
+class TestResults:
+    def test_matrix_shape(self, results):
+        assert results.policies == ["FIFO", "RUSH"]
+        assert results.seeds == [0, 1]
+        assert len(results.runs) == 4
+
+    def test_pooled_metrics_sizes(self, results):
+        # 6 jobs x 2 seeds, all classes
+        assert len(results.utilities("FIFO")) == 12
+        lat = results.latencies("FIFO", "critical", "sensitive")
+        assert 0 < len(lat) <= 12
+
+    def test_identical_workload_across_policies(self, results):
+        fifo = results.results_for("FIFO")
+        rush = results.results_for("RUSH")
+        assert (sum(r.busy_container_slots for r in fifo)
+                == sum(r.busy_container_slots for r in rush))
+
+    def test_summary_table_mentions_all_policies(self, results):
+        table = results.summary_table()
+        assert "FIFO" in table and "RUSH" in table
+        assert "lat q3" in table
+
+    def test_lexicographic_ranking_complete(self, results):
+        ranking = results.lexicographic_ranking()
+        assert sorted(ranking) == ["FIFO", "RUSH"]

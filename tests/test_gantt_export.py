@@ -1,0 +1,100 @@
+"""Tests for the Gantt renderer and simulation-result export."""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+
+import pytest
+
+from repro import FifoScheduler, run_simulation
+from repro.analysis import job_legend, render_gantt
+from repro.core.mapping import ContainerPlan, MappingJob, map_time_slots
+from repro.errors import ConfigurationError
+from repro.workload import WorkloadConfig, generate_workload
+
+
+@pytest.fixture
+def plan() -> ContainerPlan:
+    return map_time_slots([MappingJob("alpha", 20, 5, 10),
+                           MappingJob("beta", 12, 3, 16)], 3)
+
+
+class TestGantt:
+    def test_legend_is_stable(self, plan):
+        legend = job_legend(plan)
+        assert legend == {"alpha": "A", "beta": "B"}
+
+    def test_render_shape(self, plan):
+        text = render_gantt(plan, width=48)
+        lines = text.splitlines()
+        assert len(lines) == 1 + 3 + 2  # header + 3 queues + blank + legend
+        for line in lines[1:4]:
+            assert line.endswith("|")
+            assert len(line) == len(lines[1])
+
+    def test_render_contents(self, plan):
+        text = render_gantt(plan, width=48)
+        assert "A" in text and "B" in text
+        assert "legend: A=alpha  B=beta" in text
+        # queue 2 is never used by Algorithm 4's front-filling
+        q2 = [line for line in text.splitlines() if line.startswith("q02")][0]
+        assert set(q2[5:-1]) == {"."}
+
+    def test_empty_plan(self):
+        assert render_gantt(map_time_slots([], 2)) == "(empty plan)"
+
+    def test_width_validation(self, plan):
+        with pytest.raises(ConfigurationError):
+            render_gantt(plan, width=5)
+
+    def test_many_jobs_cycle_symbols(self):
+        jobs = [MappingJob(f"job{i}", 2, 1, 100) for i in range(70)]
+        plan = map_time_slots(jobs, 1)
+        legend = job_legend(plan)
+        assert len(legend) == 70
+        assert len(set(legend.values())) > 50  # symbols mostly distinct
+
+
+class TestExport:
+    @pytest.fixture
+    def result(self):
+        specs = generate_workload(
+            WorkloadConfig(n_jobs=4, capacity=4, mean_interarrival=50,
+                           time_scale=0.25, size_gb_range=(0.5, 1.0)),
+            seed=1)
+        return run_simulation(specs, 4, FifoScheduler())
+
+    def test_to_dict_roundtrips_counts(self, result):
+        data = result.to_dict()
+        assert data["scheduler"] == "FIFO"
+        assert len(data["records"]) == 4
+        assert data["busy_container_slots"] == result.busy_container_slots
+
+    def test_save_json(self, result, tmp_path):
+        path = tmp_path / "run.json"
+        result.save_json(path)
+        data = json.loads(path.read_text())
+        assert data["capacity"] == 4
+        assert all("utility_value" in r for r in data["records"])
+
+    def test_json_nan_becomes_null(self, tmp_path):
+        from repro import ConstantUtility, JobSpec
+
+        spec = JobSpec(job_id="j", arrival=0, task_durations=(1,),
+                       utility=ConstantUtility(1.0))
+        result = run_simulation([spec], 1, FifoScheduler())
+        path = tmp_path / "run.json"
+        result.save_json(path)
+        data = json.loads(path.read_text())  # must parse as strict JSON
+        assert data["records"][0]["latency"] is None
+
+    def test_save_csv(self, result, tmp_path):
+        path = tmp_path / "run.csv"
+        result.save_csv(path)
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 4
+        assert {"job_id", "runtime", "latency", "utility_value"} <= \
+            set(rows[0])

@@ -1,0 +1,117 @@
+"""Integration tests: full simulations across the whole stack."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    EdfScheduler,
+    FairScheduler,
+    FifoScheduler,
+    RrhScheduler,
+    RushScheduler,
+    run_simulation,
+)
+from repro.cluster.metrics import lexicographic_compare
+from repro.workload import WorkloadConfig, WorkloadGenerator
+
+#: A small but contended workload: jobs overlap enough that scheduling
+#: decisions matter, yet runs finish in well under a second per policy.
+CI_CONFIG = WorkloadConfig(
+    n_jobs=14, capacity=8, mean_interarrival=120.0, budget_ratio=1.5,
+    size_gb_range=(0.5, 2.0), time_scale=0.25)
+
+
+def run_all(specs, capacity, max_slots=200_000):
+    policies = {
+        "FIFO": FifoScheduler(),
+        "EDF": EdfScheduler(),
+        "Fair": FairScheduler(),
+        "RRH": RrhScheduler(),
+        "RUSH": RushScheduler(),
+    }
+    return {name: run_simulation(specs, capacity, sched, max_slots=max_slots)
+            for name, sched in policies.items()}
+
+
+@pytest.fixture(scope="module")
+def contended_results():
+    specs = WorkloadGenerator(CI_CONFIG, seed=42).generate()
+    return run_all(specs, CI_CONFIG.capacity)
+
+
+class TestAllSchedulersComplete:
+    def test_every_policy_finishes_every_job(self, contended_results):
+        for name, result in contended_results.items():
+            assert result.completed_count == CI_CONFIG.n_jobs, name
+
+    def test_work_conservation_across_policies(self, contended_results):
+        busies = {r.busy_container_slots for r in contended_results.values()}
+        assert len(busies) == 1  # total ground-truth work is policy-independent
+
+    def test_record_counts_and_fields(self, contended_results):
+        for result in contended_results.values():
+            assert len(result.records) == CI_CONFIG.n_jobs
+            for record in result.records:
+                assert record.runtime > 0
+                assert not math.isnan(record.utility_value)
+
+
+class TestRushQuality:
+    def test_rush_is_lexicographically_best(self, contended_results):
+        """The paper's headline: RUSH maximizes the sorted utility vector."""
+        rush = contended_results["RUSH"].sorted_utilities()
+        for name in ("FIFO", "EDF", "Fair"):
+            other = contended_results[name].sorted_utilities()
+            assert lexicographic_compare(rush, other) >= 0, name
+
+    def test_rush_overhead_is_bounded(self, contended_results):
+        result = contended_results["RUSH"]
+        # the planner runs thousands of times yet stays fast (Figure 5)
+        assert result.planner_seconds < 30.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcome(self):
+        specs = WorkloadGenerator(CI_CONFIG, seed=7).generate()
+        r1 = run_simulation(specs, CI_CONFIG.capacity, RushScheduler())
+        specs2 = WorkloadGenerator(CI_CONFIG, seed=7).generate()
+        r2 = run_simulation(specs2, CI_CONFIG.capacity, RushScheduler())
+        assert [rec.runtime for rec in r1.records] == \
+            [rec.runtime for rec in r2.records]
+
+
+class TestBudgetRatioMonotonicity:
+    def test_tighter_budgets_hurt_everyone(self):
+        """Shrinking time budgets can only lower achieved utilities."""
+        base = WorkloadConfig(
+            n_jobs=10, capacity=8, mean_interarrival=100.0,
+            budget_ratio=2.0, size_gb_range=(0.5, 2.0), time_scale=0.25)
+        tight = WorkloadConfig(
+            n_jobs=10, capacity=8, mean_interarrival=100.0,
+            budget_ratio=1.0, size_gb_range=(0.5, 2.0), time_scale=0.25)
+        loose_res = run_simulation(
+            WorkloadGenerator(base, seed=3).generate(), 8, FifoScheduler())
+        tight_res = run_simulation(
+            WorkloadGenerator(tight, seed=3).generate(), 8, FifoScheduler())
+        assert tight_res.total_utility() <= loose_res.total_utility() + 1e-9
+
+
+class TestSimulationMetricsConsistency:
+    def test_latency_matches_runtime_minus_budget(self, contended_results):
+        for result in contended_results.values():
+            for record in result.records:
+                if not math.isnan(record.latency):
+                    assert record.latency == pytest.approx(
+                        record.runtime - record.budget)
+
+    def test_utility_matches_utility_function(self):
+        specs = WorkloadGenerator(CI_CONFIG, seed=9).generate()
+        result = run_simulation(specs, CI_CONFIG.capacity, FifoScheduler())
+        by_id = {s.job_id: s for s in specs}
+        for record in result.records:
+            expected = by_id[record.job_id].utility.value(record.runtime)
+            assert record.utility_value == pytest.approx(expected)

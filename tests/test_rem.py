@@ -1,0 +1,151 @@
+"""Tests for the closed-form REM solver (Algorithm 1 / Theorem 1)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import minimize
+
+from repro.errors import ConfigurationError
+from repro.core.rem import rem_min_kl, rem_min_kl_from_cdf, solve_rem
+from repro.estimation.pmf import Pmf, kl_divergence
+
+
+def reference_pmfs(max_size: int = 15):
+    return st.lists(st.floats(min_value=0.01, max_value=10.0,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=2, max_size=max_size)
+
+
+class TestValidation:
+    def test_bad_theta(self):
+        pmf = Pmf([0.5, 0.5])
+        with pytest.raises(ConfigurationError):
+            solve_rem(pmf, 0, 1.5)
+        with pytest.raises(ConfigurationError):
+            solve_rem(pmf, 0, -0.1)
+
+    def test_bad_target_bin(self):
+        with pytest.raises(ConfigurationError):
+            solve_rem(Pmf([1.0]), -1, 0.5)
+
+
+class TestSlackConstraint:
+    def test_reference_already_feasible(self):
+        """When Phi(L) <= theta the reference itself is optimal (kl = 0)."""
+        pmf = Pmf([0.1, 0.1, 0.8])
+        sol = solve_rem(pmf, 1, theta=0.5)
+        assert sol.feasible
+        assert sol.kl == 0.0
+        assert sol.pmf == pmf
+
+    def test_theta_one_always_slack(self):
+        pmf = Pmf([0.9, 0.1])
+        sol = solve_rem(pmf, 1, theta=1.0)
+        assert sol.feasible and sol.kl == 0.0
+
+
+class TestBindingConstraint:
+    def test_two_sided_rescaling(self):
+        """The optimum keeps the reference's shape on both sides of L."""
+        pmf = Pmf([0.4, 0.4, 0.1, 0.1])
+        sol = solve_rem(pmf, 1, theta=0.5)
+        assert sol.feasible
+        p = sol.pmf.probs
+        # head rescaled to total theta, preserving proportions 0.4 : 0.4
+        assert p[0] == pytest.approx(0.25)
+        assert p[1] == pytest.approx(0.25)
+        # tail rescaled to 1 - theta, preserving proportions 0.1 : 0.1
+        assert p[2] == pytest.approx(0.25)
+        assert p[3] == pytest.approx(0.25)
+
+    def test_kl_matches_explicit_divergence(self):
+        pmf = Pmf([0.4, 0.4, 0.1, 0.1])
+        sol = solve_rem(pmf, 1, theta=0.5)
+        assert sol.kl == pytest.approx(kl_divergence(sol.pmf, pmf))
+
+    def test_constraint_satisfied_with_equality(self):
+        pmf = Pmf([0.6, 0.2, 0.2])
+        sol = solve_rem(pmf, 0, theta=0.3)
+        assert float(sol.pmf.probs[0]) == pytest.approx(0.3)
+
+    def test_theta_zero_moves_all_mass_up(self):
+        pmf = Pmf([0.5, 0.3, 0.2])
+        sol = solve_rem(pmf, 0, theta=0.0)
+        assert sol.feasible
+        assert sol.pmf.probs[0] == 0.0
+        assert sol.pmf.cdf_at(2) == pytest.approx(1.0)
+        assert sol.kl == pytest.approx(math.log(1.0 / 0.5))
+
+
+class TestInfeasible:
+    def test_no_tail_mass(self):
+        """The adversary cannot conjure mass above the reference support."""
+        pmf = Pmf([0.5, 0.5])
+        sol = solve_rem(pmf, 1, theta=0.4)
+        assert not sol.feasible
+        assert sol.kl == math.inf
+        assert sol.pmf is None
+
+    def test_target_beyond_support(self):
+        pmf = Pmf([1.0])
+        sol = solve_rem(pmf, 5, theta=0.5)
+        assert not sol.feasible
+
+
+class TestClosedFormKl:
+    def test_matches_solution_kl(self):
+        pmf = Pmf([0.3, 0.3, 0.2, 0.2])
+        for target in range(3):
+            sol = solve_rem(pmf, target, theta=0.25)
+            assert rem_min_kl(pmf, target, 0.25) == pytest.approx(sol.kl)
+
+    def test_monotone_in_target(self, gaussian_pmf):
+        values = [rem_min_kl(gaussian_pmf, t, 0.9)
+                  for t in range(0, gaussian_pmf.tau_max, 7)]
+        finite = [v for v in values if math.isfinite(v)]
+        assert finite == sorted(finite)
+
+    def test_cdf_edge_cases(self):
+        assert rem_min_kl_from_cdf(0.3, theta=0.5) == 0.0
+        assert rem_min_kl_from_cdf(1.0, theta=0.5) == math.inf
+        assert rem_min_kl_from_cdf(1.0, theta=1.0) == 0.0
+        assert rem_min_kl_from_cdf(0.9, theta=0.0) == pytest.approx(math.log(10.0))
+
+
+class TestTheorem1OptimalityAgainstNumericSolver:
+    """Theorem 1: the closed form equals a direct numeric minimization."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(reference_pmfs(max_size=8),
+           st.integers(min_value=0, max_value=6),
+           st.floats(min_value=0.05, max_value=0.95))
+    def test_closed_form_is_optimal(self, raw, target, theta):
+        phi = np.asarray(raw) / np.sum(raw)
+        target = min(target, len(phi) - 2)  # keep some tail mass
+        pmf = Pmf(phi)
+        sol = solve_rem(pmf, target, theta)
+        assert sol.feasible
+
+        # Numeric check: minimize KL over the simplex with the tail constraint.
+        def objective(x):
+            x = np.clip(x, 1e-12, None)
+            x = x / x.sum()
+            return float(np.sum(x * np.log(x / phi)))
+
+        cons = [
+            {"type": "eq", "fun": lambda x: np.sum(x) - 1.0},
+            {"type": "ineq", "fun": lambda x: theta - np.sum(x[: target + 1])},
+        ]
+        best = math.inf
+        for start in (phi, np.ones_like(phi) / len(phi)):
+            res = minimize(objective, start, constraints=cons,
+                           bounds=[(1e-12, 1.0)] * len(phi), method="SLSQP")
+            if res.success:
+                best = min(best, objective(res.x))
+        if math.isfinite(best):
+            assert sol.kl <= best + 1e-4

@@ -1,0 +1,215 @@
+"""Tests for the scheduling policies (FIFO, EDF, Fair, RRH, RUSH)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.cluster import ClusterSimulator, JobSpec, run_simulation
+from repro.schedulers import (
+    EdfScheduler,
+    FairScheduler,
+    FifoScheduler,
+    RrhScheduler,
+    RushScheduler,
+)
+from repro.schedulers.base import Scheduler
+from repro.utility import ConstantUtility, LinearUtility, SigmoidUtility
+
+
+def spec(job_id, arrival=0, durations=(4, 4), budget=50.0, utility=None,
+         priority=1.0, **kw):
+    return JobSpec(job_id=job_id, arrival=arrival,
+                   task_durations=tuple(durations),
+                   utility=utility or LinearUtility(budget, priority),
+                   budget=budget, priority=priority, **kw)
+
+
+class TestBaseScheduler:
+    def test_unbound_access_rejected(self):
+        with pytest.raises(SimulationError):
+            FifoScheduler().sim
+
+    def test_name_in_result(self):
+        result = run_simulation([spec("a", durations=(1,))], 1, EdfScheduler())
+        assert result.scheduler_name == "EDF"
+
+
+class TestFifo:
+    def test_serves_in_arrival_order(self):
+        specs = [
+            spec("late", arrival=1, durations=(2, 2)),
+            spec("early", arrival=0, durations=(2, 2)),
+        ]
+        result = run_simulation(specs, 1, FifoScheduler())
+        by_id = {r.job_id: r for r in result.records}
+        assert (by_id["early"].arrival + by_id["early"].runtime
+                <= by_id["late"].arrival + by_id["late"].runtime)
+
+    def test_head_of_line_blocking(self):
+        """A long head job starves a short one behind it — the FIFO flaw."""
+        specs = [
+            spec("whale", arrival=0, durations=(30,) * 2, budget=70.0),
+            spec("minnow", arrival=1, durations=(2,), budget=5.0),
+        ]
+        result = run_simulation(specs, 1, FifoScheduler())
+        minnow = next(r for r in result.records if r.job_id == "minnow")
+        assert minnow.latency > 0  # blocked behind the whale
+
+
+class TestEdf:
+    def test_prefers_earliest_deadline(self):
+        specs = [
+            spec("loose", arrival=0, durations=(3, 3), budget=100.0),
+            spec("tight", arrival=0, durations=(3, 3), budget=10.0),
+        ]
+        result = run_simulation(specs, 1, EdfScheduler())
+        by_id = {r.job_id: r for r in result.records}
+        assert by_id["tight"].runtime < by_id["loose"].runtime
+
+    def test_infinite_budget_sorts_last(self):
+        specs = [
+            JobSpec(job_id="nobudget", arrival=0, task_durations=(3,),
+                    utility=ConstantUtility(1.0)),
+            spec("budgeted", arrival=0, durations=(3,), budget=5.0),
+        ]
+        result = run_simulation(specs, 1, EdfScheduler())
+        by_id = {r.job_id: r for r in result.records}
+        assert by_id["budgeted"].runtime <= 3.0
+
+
+class TestFair:
+    def test_equal_shares(self):
+        """With two identical jobs and two containers, each gets one."""
+        specs = [spec("a", durations=(4, 4)), spec("b", durations=(4, 4))]
+        result = run_simulation(specs, 2, FairScheduler(weighted=False))
+        runtimes = sorted(r.runtime for r in result.records)
+        assert runtimes[0] == runtimes[1] == 8.0
+
+    def test_priority_weighting(self):
+        specs = [
+            spec("heavy", durations=(4,) * 4, priority=4.0),
+            spec("light", durations=(4,) * 4, priority=1.0),
+        ]
+        result = run_simulation(specs, 2, FairScheduler(weighted=True))
+        by_id = {r.job_id: r for r in result.records}
+        assert by_id["heavy"].runtime <= by_id["light"].runtime
+
+
+class TestRrh:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RrhScheduler(default_runtime=0)
+
+    def test_favors_critical_jobs(self):
+        """The steep-sigmoid job near its budget wins the container."""
+        critical = SigmoidUtility(budget=12, priority=2, beta=2.0)
+        sensitive = SigmoidUtility(budget=100, priority=2, beta=0.02)
+        specs = [
+            spec("critical", durations=(4, 4), utility=critical, budget=12.0,
+                 prior_runtime=4.0),
+            spec("sensitive", durations=(4, 4), utility=sensitive, budget=100.0,
+                 prior_runtime=4.0),
+        ]
+        result = run_simulation(specs, 1, RrhScheduler())
+        by_id = {r.job_id: r for r in result.records}
+        assert by_id["critical"].runtime < by_id["sensitive"].runtime
+
+    def test_falls_back_when_no_gain(self):
+        """Jobs whose utility cannot improve still get served (EDF order)."""
+        specs = [
+            spec("flat", durations=(2, 2), utility=ConstantUtility(1.0),
+                 budget=10.0),
+        ]
+        result = run_simulation(specs, 1, RrhScheduler())
+        assert result.completed_count == 1
+
+
+class TestRush:
+    def test_runs_to_completion(self):
+        specs = [
+            spec("a", durations=(3, 3, 3), budget=20.0, prior_runtime=3.0),
+            spec("b", arrival=2, durations=(3, 3), budget=15.0,
+                 prior_runtime=3.0),
+        ]
+        result = run_simulation(specs, 2, RushScheduler())
+        assert result.completed_count == 2
+        assert result.planner_seconds > 0.0
+
+    def test_defers_insensitive_jobs_under_pressure(self):
+        """RUSH delays the constant-utility job to save the sensitive one."""
+        sensitive = SigmoidUtility(budget=10, priority=3, beta=1.0)
+        specs = [
+            spec("flat", arrival=0, durations=(4,) * 4,
+                 utility=ConstantUtility(3.0), budget=100.0, prior_runtime=4.0),
+            spec("urgent", arrival=0, durations=(4, 4), utility=sensitive,
+                 budget=10.0, prior_runtime=4.0),
+        ]
+        result = run_simulation(specs, 2, RushScheduler(delta=0.1))
+        by_id = {r.job_id: r for r in result.records}
+        assert by_id["urgent"].runtime <= 10.0
+        assert by_id["urgent"].utility_value > 1.0
+
+    def test_plan_cached_within_epoch(self):
+        specs = [spec("a", durations=(2,) * 6, prior_runtime=2.0)]
+        scheduler = RushScheduler()
+        result = run_simulation(specs, 3, scheduler)
+        # one plan per (slot, completions) epoch, far fewer than decisions
+        assert scheduler.plans_computed <= result.scheduling_decisions
+
+    def test_impossible_jobs_surface(self):
+        """The red-row diagnostic lists jobs with zero attainable utility."""
+        specs = [
+            spec("doomed", durations=(50,) * 4, budget=10.0,
+                 utility=LinearUtility(10, 1), prior_runtime=50.0),
+        ]
+        scheduler = RushScheduler(delta=0.2)
+        run_simulation(specs, 1, scheduler, max_slots=5)
+        assert "doomed" in scheduler.impossible_jobs()
+
+    def test_non_work_conserving_mode(self):
+        specs = [spec("a", durations=(2, 2), prior_runtime=2.0)]
+        scheduler = RushScheduler(work_conserving=False)
+        result = run_simulation(specs, 4, scheduler, max_slots=100)
+        assert result.completed_count == 1
+
+    def test_custom_estimator_factory(self):
+        from repro.estimation import MeanTimeEstimator
+
+        factory_calls = []
+
+        def factory(prior):
+            factory_calls.append(prior)
+            return MeanTimeEstimator(prior_runtime=prior)
+
+        specs = [spec("a", durations=(2, 2), prior_runtime=7.0)]
+        run_simulation(specs, 1, RushScheduler(estimator_factory=factory))
+        assert factory_calls == [7.0]
+
+
+class TestSchedulerContract:
+    def test_selecting_complete_job_raises(self):
+        class Bad(Scheduler):
+            name = "bad"
+
+            def select_job(self):
+                return "ghost"
+
+        sim = ClusterSimulator(1, Bad())
+        sim.submit(spec("real", durations=(1,)))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_idling_scheduler_stalls_but_terminates(self):
+        class Lazy(Scheduler):
+            name = "lazy"
+
+            def select_job(self):
+                return None
+
+        result = run_simulation([spec("a", durations=(1,))], 1, Lazy(),
+                                max_slots=10)
+        assert result.completed_count == 0
+        assert result.slots_simulated == 10

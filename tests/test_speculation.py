@@ -1,0 +1,155 @@
+"""Tests for speculative execution (duplicate attempts racing stragglers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.cluster import JobSpec, SimJob, Task, TaskState, run_simulation
+from repro.schedulers import FifoScheduler, RushScheduler
+from repro.schedulers.speculative import SpeculativeScheduler
+from repro.utility import LinearUtility
+
+
+def spec(job_id="j", durations=(5, 5), **kw):
+    return JobSpec(job_id=job_id, arrival=kw.pop("arrival", 0),
+                   task_durations=tuple(durations),
+                   utility=LinearUtility(kw.pop("budget", 200.0), 1.0),
+                   budget=200.0, **kw)
+
+
+class TestTaskCancel:
+    def test_cancel_running(self):
+        task = Task("t", "j", duration=5)
+        task.launch(0)
+        task.cancel()
+        assert task.state is TaskState.CANCELLED
+
+    def test_cancel_pending_allowed(self):
+        task = Task("t", "j", duration=5)
+        task.cancel()
+        assert task.state is TaskState.CANCELLED
+
+    def test_cancel_completed_rejected(self):
+        task = Task("t", "j", duration=1)
+        task.launch(0)
+        task.advance(0)
+        with pytest.raises(SimulationError):
+            task.cancel()
+
+    def test_logical_id_derivation(self):
+        assert Task("j/t3", "j", duration=1).logical_id == "j/t3"
+        assert Task("j/t3#2", "j", duration=1).logical_id == "j/t3"
+        assert Task("j/t3~s1", "j", duration=1).logical_id == "j/t3"
+
+
+class TestSimJobSpeculation:
+    def test_speculate_creates_pending_duplicate(self):
+        job = SimJob(spec(durations=(10,)))
+        original = job.next_pending()
+        original.launch(0)
+        job.note_launched()
+        duplicate = job.speculate(original.logical_id, duration=3)
+        assert job.pending_count == 1
+        assert job.has_duplicate(original.logical_id)
+        assert duplicate.logical_id == original.logical_id
+        assert duplicate.duration == 3
+
+    def test_cannot_speculate_completed_task(self):
+        job = SimJob(spec(durations=(1,)))
+        task = job.next_pending()
+        task.launch(0)
+        job.note_launched()
+        task.advance(0)
+        job.note_completed(task)
+        with pytest.raises(ConfigurationError):
+            job.speculate(task.logical_id, duration=1)
+
+    def test_cannot_speculate_unknown_task(self):
+        job = SimJob(spec(durations=(1,)))
+        with pytest.raises(ConfigurationError):
+            job.speculate("ghost", duration=1)
+
+    def test_duplicate_completion_counts_once(self):
+        job = SimJob(spec(durations=(4,)))
+        original = job.next_pending()
+        original.launch(0)
+        job.note_launched()
+        duplicate = job.speculate(original.logical_id, duration=4)
+        launched = job.next_pending()
+        assert launched is duplicate
+        duplicate.launch(0)
+        job.note_launched()
+        for t in range(4):
+            original.advance(t)
+            duplicate.advance(t)
+        assert job.note_completed(original)
+        assert not job.note_completed(duplicate)  # same slot: loser discarded
+        assert job.completed_count == 1
+        assert job.is_complete
+
+    def test_failed_attempt_with_live_sibling_skips_retry(self):
+        job = SimJob(spec(durations=(6,)))
+        original = job.next_pending()
+        original.fail_after = 1
+        original.launch(0)
+        job.note_launched()
+        job.speculate(original.logical_id, duration=6)
+        original.advance(0)
+        assert job.note_failed(original) is None  # sibling still live
+        assert job.pending_count == 1  # only the duplicate
+
+
+class TestSpeculativeScheduler:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SpeculativeScheduler(FifoScheduler(), slowdown_threshold=1.0)
+        with pytest.raises(ConfigurationError):
+            SpeculativeScheduler(FifoScheduler(), min_samples=0)
+
+    def test_name_reflects_base(self):
+        assert SpeculativeScheduler(FifoScheduler()).name == "FIFO+spec"
+
+    def test_straggler_is_clipped(self):
+        """A lone extreme straggler is raced and the job finishes early."""
+        durations = (5,) * 7 + (60,)
+        plain = run_simulation([spec(durations=durations)], 2,
+                               FifoScheduler())
+        fast = run_simulation([spec(durations=durations)], 2,
+                              SpeculativeScheduler(FifoScheduler()))
+        assert fast.speculative_launches >= 1
+        assert fast.records[0].runtime < plain.records[0].runtime
+
+    def test_no_speculation_without_samples(self):
+        """min_samples gates speculation: a single task is never raced."""
+        result = run_simulation([spec(durations=(40,))], 2,
+                                SpeculativeScheduler(FifoScheduler()))
+        assert result.speculative_launches == 0
+
+    def test_no_duplicate_of_a_duplicate(self):
+        durations = (5,) * 7 + (200,)
+        result = run_simulation([spec(durations=durations)], 3,
+                                SpeculativeScheduler(FifoScheduler()))
+        # the straggler is raced exactly once (duplicate finishes quickly)
+        assert result.speculative_launches == 1
+
+    def test_works_with_rush_base(self):
+        durations = (5,) * 7 + (60,)
+        result = run_simulation(
+            [spec(durations=durations, prior_runtime=5.0)], 2,
+            SpeculativeScheduler(RushScheduler()))
+        assert result.completed_count == 1
+        assert result.scheduler_name == "RUSH+spec"
+
+    def test_work_not_conserved_but_bounded(self):
+        """Speculation burns extra container-slots, but only while racing."""
+        durations = (5,) * 7 + (60,)
+        plain = run_simulation([spec(durations=durations)], 2,
+                               FifoScheduler())
+        fast = run_simulation([spec(durations=durations)], 2,
+                              SpeculativeScheduler(FifoScheduler()))
+        total_work = sum(durations)
+        assert plain.busy_container_slots == total_work
+        assert fast.busy_container_slots != total_work  # raced work differs
+        # wasted work is bounded by the straggler's clipped duration
+        assert abs(fast.busy_container_slots - total_work) <= 60

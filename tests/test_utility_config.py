@@ -1,0 +1,155 @@
+"""Tests for the job configuration interface (dict + XML)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utility import (
+    ConstantUtility,
+    LinearUtility,
+    PiecewiseUtility,
+    SigmoidUtility,
+    StepUtility,
+    register_utility_class,
+    utility_from_config,
+    utility_from_xml,
+    utility_to_config,
+)
+
+
+class TestFromConfig:
+    def test_linear(self):
+        u = utility_from_config({"class": "linear", "budget": 100,
+                                 "priority": 5, "beta": 0.5})
+        assert isinstance(u, LinearUtility)
+        assert u.budget == 100 and u.priority == 5 and u.beta == 0.5
+
+    def test_sigmoid_defaults(self):
+        u = utility_from_config({"class": "sigmoid", "budget": 50})
+        assert isinstance(u, SigmoidUtility)
+        assert u.priority == 1.0 and u.beta == 0.5
+
+    def test_constant(self):
+        u = utility_from_config({"class": "constant", "priority": 2})
+        assert isinstance(u, ConstantUtility)
+
+    def test_step(self):
+        u = utility_from_config({"class": "step", "budget": 10, "priority": 3})
+        assert isinstance(u, StepUtility)
+
+    def test_piecewise(self):
+        u = utility_from_config({"class": "piecewise",
+                                 "points": [(0, 5), (10, 0)]})
+        assert isinstance(u, PiecewiseUtility)
+
+    def test_case_insensitive_class(self):
+        u = utility_from_config({"class": " Sigmoid ", "budget": 50})
+        assert isinstance(u, SigmoidUtility)
+
+    def test_missing_class(self):
+        with pytest.raises(ConfigurationError, match="class"):
+            utility_from_config({"budget": 1})
+
+    def test_unknown_class(self):
+        with pytest.raises(ConfigurationError, match="unknown utility class"):
+            utility_from_config({"class": "exotic"})
+
+    def test_missing_parameter(self):
+        with pytest.raises(ConfigurationError, match="missing required"):
+            utility_from_config({"class": "linear"})
+
+    def test_bad_parameter_value(self):
+        with pytest.raises(ConfigurationError):
+            utility_from_config({"class": "linear", "budget": "soon"})
+
+    def test_piecewise_needs_points(self):
+        with pytest.raises(ConfigurationError, match="points"):
+            utility_from_config({"class": "piecewise"})
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("utility", [
+        LinearUtility(100, 5, 0.5),
+        SigmoidUtility(60, 3, 0.1),
+        ConstantUtility(2),
+        StepUtility(30, 4),
+        PiecewiseUtility([(0, 5), (10, 1)]),
+    ])
+    def test_config_roundtrip(self, utility):
+        rebuilt = utility_from_config(utility_to_config(utility))
+        for t in (0, 5, 30, 60, 120):
+            assert rebuilt.value(t) == pytest.approx(utility.value(t))
+
+    def test_unknown_type_rejected(self):
+        from repro.utility.base import UtilityFunction
+
+        class Custom(UtilityFunction):
+            def value(self, completion_time):
+                return 1.0
+
+            def max_value(self):
+                return 1.0
+
+            def min_value(self):
+                return 1.0
+
+        with pytest.raises(ConfigurationError):
+            utility_to_config(Custom())
+
+
+class TestXml:
+    def test_nested_job_element(self):
+        doc = """
+        <job>
+          <utility class="sigmoid">
+            <budget>600</budget>
+            <priority>5</priority>
+            <beta>0.8</beta>
+          </utility>
+        </job>
+        """
+        u = utility_from_xml(doc)
+        assert isinstance(u, SigmoidUtility)
+        assert u.budget == 600 and u.priority == 5 and u.beta == 0.8
+
+    def test_root_utility_element(self):
+        u = utility_from_xml('<utility class="constant"><priority>2</priority></utility>')
+        assert isinstance(u, ConstantUtility)
+        assert u.priority == 2
+
+    def test_piecewise_points(self):
+        doc = """
+        <utility class="piecewise">
+          <points>
+            <point time="0" value="5"/>
+            <point time="10" value="0"/>
+          </points>
+        </utility>
+        """
+        u = utility_from_xml(doc)
+        assert isinstance(u, PiecewiseUtility)
+        assert u.value(5) == pytest.approx(2.5)
+
+    def test_malformed_xml(self):
+        with pytest.raises(ConfigurationError, match="malformed"):
+            utility_from_xml("<job><utility>")
+
+    def test_missing_utility_element(self):
+        with pytest.raises(ConfigurationError, match="no <utility>"):
+            utility_from_xml("<job></job>")
+
+    def test_missing_class_attribute(self):
+        with pytest.raises(ConfigurationError, match="class attribute"):
+            utility_from_xml("<utility><budget>5</budget></utility>")
+
+
+class TestRegistration:
+    def test_custom_class(self):
+        register_utility_class("always-seven", lambda cfg: ConstantUtility(7.0))
+        u = utility_from_config({"class": "always-seven"})
+        assert u.value(123) == 7.0
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_utility_class("  ", lambda cfg: ConstantUtility(1.0))

@@ -1,0 +1,240 @@
+"""Tests for templates, the workload generator and the trace format."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.cluster import JobSpec
+from repro.utility import ConstantUtility, SigmoidUtility
+from repro.workload import (
+    PUMA_TEMPLATES,
+    WorkloadConfig,
+    WorkloadGenerator,
+    generate_workload,
+    load_trace,
+    save_trace,
+    template_by_name,
+)
+from repro.workload.templates import JobTemplate
+
+
+class TestTemplates:
+    def test_eight_templates(self):
+        assert len(PUMA_TEMPLATES) == 8
+        names = {t.name for t in PUMA_TEMPLATES}
+        assert "word-count" in names and "terasort" in names
+
+    def test_lookup(self):
+        assert template_by_name("self-join").name == "self-join"
+        with pytest.raises(ConfigurationError):
+            template_by_name("bogus")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            JobTemplate("x", tasks_per_gb=0, mean_runtime=10, std_runtime=1)
+        with pytest.raises(ConfigurationError):
+            JobTemplate("x", tasks_per_gb=1, mean_runtime=-1, std_runtime=1)
+
+    def test_sample_tasks_scale_with_size(self, rng):
+        template = template_by_name("word-count")
+        small = template.sample_tasks(1.0, rng)
+        large = template.sample_tasks(10.0, rng)
+        assert len(large) > len(small)
+        assert all(d >= 1 for d in small + large)
+
+    def test_sample_tasks_bad_size(self, rng):
+        with pytest.raises(ConfigurationError):
+            template_by_name("word-count").sample_tasks(0.0, rng)
+
+    def test_benchmark_runtime_is_lpt_makespan(self):
+        template = PUMA_TEMPLATES[0]
+        # LPT on 2 machines for [5, 4, 3, 3]: loads {5+3, 4+3} -> 8
+        assert template.benchmark_runtime([5, 4, 3, 3], 2) == 8
+
+    def test_benchmark_single_container(self):
+        template = PUMA_TEMPLATES[0]
+        assert template.benchmark_runtime([5, 4], 1) == 9
+
+    def test_benchmark_more_containers_never_slower(self):
+        template = PUMA_TEMPLATES[0]
+        tasks = [7, 6, 5, 4, 3, 2, 1]
+        runtimes = [template.benchmark_runtime(tasks, c) for c in (1, 2, 4, 8)]
+        assert runtimes == sorted(runtimes, reverse=True)
+
+
+class TestWorkloadConfig:
+    def test_defaults_match_paper(self):
+        cfg = WorkloadConfig()
+        assert cfg.n_jobs == 100
+        assert cfg.capacity == 48
+        assert cfg.mean_interarrival == 130.0
+        assert cfg.sensitivity_mix == (0.2, 0.6, 0.2)
+        assert cfg.size_gb_range == (1.0, 10.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(n_jobs=0)
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(sensitivity_mix=(0.5, 0.5, 0.5))
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(size_gb_range=(5.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(budget_ratio=0.0)
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(time_scale=0.0)
+
+
+class TestGenerator:
+    def test_deterministic_per_seed(self):
+        a = generate_workload(seed=7)
+        b = generate_workload(seed=7)
+        assert [s.job_id for s in a] == [s.job_id for s in b]
+        assert [s.task_durations for s in a] == [s.task_durations for s in b]
+        c = generate_workload(seed=8)
+        assert [s.task_durations for s in a] != [s.task_durations for s in c]
+
+    def test_job_count_and_ids_unique(self):
+        specs = generate_workload(WorkloadConfig(n_jobs=25), seed=1)
+        assert len(specs) == 25
+        assert len({s.job_id for s in specs}) == 25
+
+    def test_arrivals_non_decreasing(self):
+        specs = generate_workload(seed=3)
+        arrivals = [s.arrival for s in specs]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[0] == 0
+
+    def test_sensitivity_mix_roughly_holds(self):
+        specs = generate_workload(WorkloadConfig(n_jobs=400), seed=5)
+        frac = {
+            k: sum(1 for s in specs if s.sensitivity == k) / len(specs)
+            for k in ("critical", "sensitive", "insensitive")
+        }
+        assert frac["critical"] == pytest.approx(0.2, abs=0.06)
+        assert frac["sensitive"] == pytest.approx(0.6, abs=0.07)
+        assert frac["insensitive"] == pytest.approx(0.2, abs=0.06)
+
+    def test_utility_classes_by_sensitivity(self):
+        specs = generate_workload(WorkloadConfig(n_jobs=60), seed=2)
+        for s in specs:
+            if s.sensitivity == "insensitive":
+                assert isinstance(s.utility, ConstantUtility)
+            else:
+                assert isinstance(s.utility, SigmoidUtility)
+        critical_betas = {s.utility.beta for s in specs
+                          if s.sensitivity == "critical"}
+        sensitive_betas = {s.utility.beta for s in specs
+                           if s.sensitivity == "sensitive"}
+        if critical_betas and sensitive_betas:
+            assert min(critical_betas) > max(sensitive_betas)
+
+    def test_budget_is_ratio_of_benchmark(self):
+        cfg = WorkloadConfig(n_jobs=30, budget_ratio=1.5)
+        for s in generate_workload(cfg, seed=4):
+            assert s.budget == pytest.approx(1.5 * s.benchmark_runtime)
+
+    def test_priorities_in_range(self):
+        specs = generate_workload(WorkloadConfig(n_jobs=50), seed=6)
+        assert all(1 <= s.priority <= 5 for s in specs)
+        assert all(float(s.priority).is_integer() for s in specs)
+
+    def test_time_scale_shrinks_durations(self):
+        full = generate_workload(WorkloadConfig(n_jobs=20), seed=9)
+        tiny = generate_workload(WorkloadConfig(n_jobs=20, time_scale=0.25),
+                                 seed=9)
+        mean_full = np.mean([np.mean(s.task_durations) for s in full])
+        mean_tiny = np.mean([np.mean(s.task_durations) for s in tiny])
+        assert mean_tiny < 0.35 * mean_full
+
+    def test_prior_runtime_is_template_nominal(self):
+        cfg = WorkloadConfig(n_jobs=10)
+        for s in generate_workload(cfg, seed=11):
+            assert s.prior_runtime == template_by_name(s.template).mean_runtime
+
+    def test_failure_prob_propagates(self):
+        cfg = WorkloadConfig(n_jobs=10, failure_prob=0.2)
+        assert all(s.failure_prob == 0.2
+                   for s in generate_workload(cfg, seed=12))
+
+
+class TestArrivalProcesses:
+    def _arrivals(self, process, n=300, seed=21, **kw):
+        cfg = WorkloadConfig(n_jobs=n, mean_interarrival=100.0,
+                             arrival_process=process, **kw)
+        return [s.arrival for s in generate_workload(cfg, seed=seed)]
+
+    def test_unknown_process_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(arrival_process="fractal")
+
+    def test_bad_burst_factor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(burst_factor=0.5)
+
+    @pytest.mark.parametrize("process", ["poisson", "uniform", "bursty"])
+    def test_mean_rate_approximately_preserved(self, process):
+        arrivals = self._arrivals(process)
+        gaps = np.diff(arrivals)
+        assert np.mean(gaps) == pytest.approx(100.0, rel=0.25)
+
+    def test_uniform_gaps_bounded(self):
+        gaps = np.diff(self._arrivals("uniform"))
+        assert gaps.min() >= 49  # 0.5 * mean, minus rounding
+        assert gaps.max() <= 151
+
+    def test_bursty_is_burstier_than_poisson(self):
+        """The bursty process has a higher gap coefficient of variation."""
+        poisson_gaps = np.diff(self._arrivals("poisson"))
+        bursty_gaps = np.diff(self._arrivals("bursty"))
+        cv = lambda g: np.std(g) / np.mean(g)  # noqa: E731
+        assert cv(bursty_gaps) > cv(poisson_gaps)
+
+
+class TestTrace:
+    def test_roundtrip(self, tmp_path):
+        specs = generate_workload(WorkloadConfig(n_jobs=15), seed=13)
+        path = tmp_path / "workload.jsonl"
+        save_trace(specs, path)
+        loaded = load_trace(path)
+        assert len(loaded) == len(specs)
+        for a, b in zip(specs, loaded):
+            assert a.job_id == b.job_id
+            assert a.arrival == b.arrival
+            assert a.task_durations == b.task_durations
+            assert a.budget == pytest.approx(b.budget)
+            assert a.sensitivity == b.sensitivity
+            assert type(a.utility) is type(b.utility)
+            for t in (0, 50, 500):
+                assert a.utility.value(t) == pytest.approx(b.utility.value(t))
+
+    def test_infinite_budget_roundtrip(self, tmp_path):
+        s = JobSpec(job_id="j", arrival=0, task_durations=(1,),
+                    utility=ConstantUtility(1.0))
+        path = tmp_path / "one.jsonl"
+        save_trace([s], path)
+        loaded = load_trace(path)[0]
+        assert math.isinf(loaded.budget)
+        assert math.isnan(loaded.benchmark_runtime)
+        assert loaded.prior_runtime is None
+
+    def test_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "junk.jsonl"
+        path.write_text('{"format": "other"}\n')
+        with pytest.raises(ConfigurationError):
+            load_trace(path)
+
+    def test_rejects_bad_header(self, tmp_path):
+        path = tmp_path / "junk.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ConfigurationError):
+            load_trace(path)
+
+    def test_rejects_bad_record(self, tmp_path):
+        path = tmp_path / "junk.jsonl"
+        path.write_text('{"format": "rush-trace", "version": 1}\n{"job_id": "x"}\n')
+        with pytest.raises(ConfigurationError):
+            load_trace(path)
