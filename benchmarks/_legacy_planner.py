@@ -1,54 +1,135 @@
-"""Onion peeling — Algorithm 3 of the paper.
+"""Frozen pre-optimization planner hot path, for benchmark baselines.
 
-Once the WCDE layer has produced a robust demand ``eta_i`` (in
-container-time-slots) for every job, the Time-Aware Scheduling problem is
-deterministic: choose target completion-times maximizing the *lexicographic
-max-min* vector of job utilities, subject to the cluster capacity ``C``.
+This module is a verbatim concatenation of ``src/repro/core/wcde.py``,
+``src/repro/core/onion.py`` and ``src/repro/core/planner.py`` as of the
+seed commit (c42c515), before the incremental planning engine landed.
+``bench_planner_incremental.py`` measures the live planner against this
+copy so that speedups are reported against the true pre-PR cold path
+rather than against the already-optimized shared modules.
 
-The onion peeling method maximizes the minimum utility "layer by layer".
-Within one layer it bisects on a utility level ``L``: a level is feasible
-iff every job can finish by its utility deadline ``U_i^{-1}(L)``, which by
-Theorem 2 reduces to the staircase capacity test (12)::
-
-    sum_{i in N_k} eta_i + G(d_k)  <=  C * d_k        for every k,
-
-where ``d_1 <= d_2 <= ...`` are the sorted deadlines, ``N_k`` the first
-``k`` jobs and ``G(t)`` the demand already committed to previously peeled
-jobs finishing by ``t``.  The job owning the first violated constraint at
-the last infeasible level is the layer's *bottleneck*: its utility cannot
-be improved further, so it is peeled (its completion-time frozen, its
-demand folded into ``G``) and the search continues with the rest.
-
-Deadlines are measured in slots from "now".  Re-planning an in-flight job
-is supported through ``elapsed`` (slots since submission: utilities are
-functions of total completion-time) and Theorem 3's continuity slack is
-supported through ``compensation`` (the per-job budget reduction ``R_i``
-that makes the continuous-time-slot mapping achievable).
-
-For speed the deadline evaluation is vectorized across jobs: the built-in
-utility classes (linear, sigmoid, constant, step) are grouped into numpy
-parameter arrays, while arbitrary user classes fall back to a scalar call.
-This keeps a full lexicographic solve for 1000 jobs within the interactive
-budget the paper reports for its Java implementation (Figure 5).
+Do not edit: any behaviour fix belongs in ``src/repro/core`` — this file
+exists only so the benchmark baseline cannot silently absorb later
+optimizations.  Only the cross-file imports were rewritten to keep the
+module self-contained (the local ``solve_wcde``/``solve_onion`` replace
+the package ones); no logic changed.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError, InfeasiblePlanError
+from repro.core.mapping import ContainerPlan, MappingJob, map_time_slots
+from repro.core.rem import rem_min_kl_from_cdf, solve_rem
+from repro.estimation.base import DemandEstimate
+from repro.estimation.pmf import Pmf
 from repro.utility.base import UtilityFunction
 from repro.utility.constant import ConstantUtility
 from repro.utility.linear import LinearUtility
 from repro.utility.sigmoid import SigmoidUtility
 from repro.utility.step import StepUtility
 
-__all__ = ["OnionJob", "JobTarget", "OnionResult", "LayerHint", "solve_onion",
-           "default_horizon"]
+__all__ = ["LegacyRushPlanner"]
+
+@dataclass(frozen=True)
+class WcdeResult:
+    """Outcome of a WCDE solve.
+
+    Attributes
+    ----------
+    eta_bin:
+        The robust demand quantile in *bins*.  Multiply by the estimator's
+        bin width to obtain ``eta_i`` in container-time-slots.
+    reference_quantile:
+        ``Phi^{-1}(theta)`` of the reference — the non-robust answer, and
+        the bisection's lower anchor.  ``eta_bin >= reference_quantile``
+        always: the reference itself lies inside every KL ball.
+    worst_pmf:
+        The adversary's boundary distribution: the REM minimizer at
+        ``eta_bin - 1``, whose CDF there equals ``theta`` exactly in the
+        binding case.  Any infinitesimally stronger perturbation would push
+        the quantile to ``eta_bin``, which is why ``eta_bin`` slots must be
+        reserved.
+    worst_kl:
+        Its divergence from the reference.
+    iterations:
+        Number of bisection steps taken.
+    """
+
+    eta_bin: int
+    reference_quantile: int
+    worst_pmf: Pmf
+    worst_kl: float
+    iterations: int
+
+
+def solve_wcde(reference: Pmf, theta: float, delta: float) -> WcdeResult:
+    """Solve the WCDE problem by bisection (Algorithm 2).
+
+    Parameters
+    ----------
+    reference:
+        Quantized reference distribution ``phi_i`` reported by the DE unit.
+    theta:
+        Required completion probability, in ``[0, 1]``.
+    delta:
+        Entropy threshold ``delta_i >= 0``; larger values concede more
+        ground to the adversary and yield more conservative schedules.
+    """
+    if not 0.0 <= theta <= 1.0:
+        raise ConfigurationError(f"theta={theta} outside [0, 1]")
+    if delta < 0.0 or math.isnan(delta):
+        raise ConfigurationError(f"delta={delta} must be >= 0")
+
+    anchor = reference.quantile(theta)
+    ceiling = reference.support_max()
+
+    # Exact semantics: the adversary's quantile exceeds a bin L iff it can
+    # push CDF(L) strictly below theta, which costs (arbitrarily close to)
+    # the REM value g(L) whenever the reference keeps some mass above L.
+    # Hence eta = 1 + max{ L < support_max : g(L) <= delta }, clamped to
+    # at least the reference quantile.  Two boundary regimes short-circuit:
+    # theta = 1 demands covering the whole support, and delta = 0 leaves
+    # the adversary no room at all (strict improvement has positive cost).
+    if theta >= 1.0:
+        eta = ceiling
+        iterations = 0
+    elif delta == 0.0 or anchor >= ceiling:
+        eta = anchor
+        iterations = 0
+    else:
+        cdf = reference.cdf()
+
+        def feasible(level: int) -> bool:
+            return rem_min_kl_from_cdf(float(cdf[level]), theta) <= delta + 1e-12
+
+        low = anchor - 1      # CDF(anchor - 1) < theta, so g = 0: feasible
+        high = ceiling        # g(support_max) = inf: infeasible
+        iterations = 0
+        while high - low > 1:
+            mid = (low + high) // 2
+            iterations += 1
+            if feasible(mid):
+                low = mid
+            else:
+                high = mid
+        eta = max(low + 1, anchor)
+
+    boundary = max(eta - 1, 0)
+    sol = solve_rem(reference, boundary, theta)
+    worst = sol.pmf if sol.pmf is not None else reference
+    return WcdeResult(eta_bin=eta, reference_quantile=anchor,
+                      worst_pmf=worst, worst_kl=sol.kl, iterations=iterations)
+
+
+def worst_case_demand(reference: Pmf, theta: float, delta: float) -> int:
+    """Convenience wrapper returning only the robust demand bin."""
+    return solve_wcde(reference, theta, delta).eta_bin
 
 
 @dataclass(frozen=True)
@@ -110,28 +191,6 @@ class JobTarget:
 
 
 @dataclass(frozen=True)
-class LayerHint:
-    """Warm-start record of one peeled layer, for the *next* solve.
-
-    ``low``/``high`` is the final bisection bracket of the layer's utility
-    level (``low`` verified feasible, ``high`` verified infeasible).  A
-    later solve over a similar job snapshot probes these two levels first:
-    when both probes confirm, the bracket collapses to tolerance width in
-    two feasibility checks instead of a full bisection — and because the
-    reconstructed bracket is *identical*, the layer then peels the exact
-    same bottleneck, making warm replans of unchanged snapshots
-    bit-stable.  ``candidate_ids``/``bottleneck_id`` additionally let a
-    floor layer skip the bottleneck lookahead when the candidate set is
-    unchanged.
-    """
-
-    low: float
-    high: float
-    candidate_ids: Optional[frozenset] = None
-    bottleneck_id: Optional[str] = None
-
-
-@dataclass(frozen=True)
 class OnionResult:
     """Solution of one lexicographic max-min solve."""
 
@@ -139,7 +198,6 @@ class OnionResult:
     layers: int
     feasibility_checks: int
     horizon: int
-    hints: Tuple[LayerHint, ...] = ()
 
     def utility_vector(self) -> List[float]:
         """Achieved utilities sorted non-decreasingly (the lex-max-min vector)."""
@@ -203,12 +261,6 @@ class _DeadlineBank:
         self._flat_w = params(flat_idx, "priority")
         self._step_b = params(step_idx, "budget")
         self._step_w = params(step_idx, "priority")
-        # Utility ceilings, evaluated once: the layer loop and the
-        # bottleneck lookahead take maxima over (subsets of) these
-        # thousands of times per solve.
-        self.max_values = np.array([job.utility.max_value() for job in jobs],
-                                   dtype=float)
-        self._level_memo: Dict[float, np.ndarray] = {}
 
     def raw_deadlines(self, level: float) -> np.ndarray:
         """``U_i^{-1}(level)`` for every job, before elapsed/compensation."""
@@ -241,22 +293,11 @@ class _DeadlineBank:
         """Integer slot deadlines from now, capped at the horizon.
 
         Entries are ``-inf`` when the level is unreachable for the job.
-        Results are memoized per level for the lifetime of the bank: the
-        bisection grids of consecutive layers and of the bottleneck
-        lookahead revisit the same levels constantly, so most queries of
-        one solve are dict hits.  The returned array is read-only.
         """
-        cached = self._level_memo.get(level)
-        if cached is not None:
-            return cached
         d = self.raw_deadlines(level) - self._offsets
         d = np.minimum(d, self._horizon)
         finite = np.isfinite(d)
         d[finite] = np.floor(d[finite] + 1e-9)
-        d.setflags(write=False)
-        if len(self._level_memo) >= 1024:
-            self._level_memo.clear()
-        self._level_memo[level] = d
         return d
 
 
@@ -311,8 +352,7 @@ class _PeeledLedger:
 def solve_onion(jobs: Sequence[OnionJob], capacity: int, *,
                 tolerance: float = 0.01,
                 horizon: Optional[int] = None,
-                lookahead: int = 4,
-                warm_start: Optional[Sequence[LayerHint]] = None) -> OnionResult:
+                lookahead: int = 4) -> OnionResult:
     """Lexicographic max-min completion-time assignment (Algorithm 3).
 
     Parameters
@@ -330,15 +370,6 @@ def solve_onion(jobs: Sequence[OnionJob], capacity: int, *,
         Maximum bottleneck candidates evaluated when a layer bottoms out
         at the utility floor and several jobs could be the sacrifice (see
         the inline comment); 0 restores the paper's pure greedy rule.
-    warm_start:
-        Per-layer :class:`LayerHint` records from a previous solve over a
-        similar job snapshot (``OnionResult.hints``).  Each hint's bracket
-        is probed before bisecting; confirmed probes collapse the layer to
-        two feasibility checks, and an unchanged floor-layer candidate set
-        reuses the recorded bottleneck instead of re-running the
-        lookahead.  Hints never bypass a feasibility check — a stale hint
-        degrades to at most two wasted probes — but a *drifted* snapshot
-        may peel within-tolerance different levels than a cold solve.
 
     Raises
     ------
@@ -423,13 +454,11 @@ def solve_onion(jobs: Sequence[OnionJob], capacity: int, *,
     global_floor = min((job.utility.min_value() for job in jobs), default=0.0)
     global_floor = min(global_floor, 0.0)
 
-    hints: List[LayerHint] = []
     layer = 0
-    seed: Optional[float] = None
     while active:
         layer += 1
         active_idx = np.array(active, dtype=int)
-        ceiling = float(bank.max_values[active_idx].max())
+        ceiling = max(jobs[i].utility.max_value() for i in active)
         ok, _ = feasibility(ceiling, active_idx)
         if ok:
             # Every remaining job attains its ceiling; peel them all.
@@ -437,43 +466,13 @@ def solve_onion(jobs: Sequence[OnionJob], capacity: int, *,
             _peel_batch(jobs, active, list(active_idx), deadlines, ledger,
                         targets, layer, horizon)
             break
-        high = ceiling
-        # Seed the bracket's feasible end from the previous layer: the
-        # peel invariant keeps its verified level feasible for the
-        # remaining jobs, so one probe replaces the cold floor probe and
-        # usually starts the bisection much closer to the fixed point.
-        low = None
-        if seed is not None and global_floor < seed < high:
-            ok, _ = feasibility(seed, active_idx)
-            if ok:
-                low = seed
-        if low is None:
-            ok, violator = feasibility(global_floor, active_idx)
-            if not ok:
-                raise InfeasiblePlanError(
-                    "even the minimum utility layer does not fit the horizon "
-                    f"(horizon={horizon}, capacity={capacity}); "
-                    "increase the horizon or drop demand")
-            low = global_floor
-        # Cross-plan warm start: re-probe the previous plan's final
-        # bracket for this layer.  When both probes confirm (the steady
-        # state), the bracket is already at tolerance width — and equal to
-        # the previous one, so the layer peels identically.
-        hint = (warm_start[layer - 1] if warm_start is not None
-                and layer - 1 < len(warm_start) else None)
-        if hint is not None:
-            if low < hint.low < high:
-                ok, _ = feasibility(hint.low, active_idx)
-                if ok:
-                    low = hint.low
-                else:
-                    high = hint.low
-            if low < hint.high < high:
-                ok, _ = feasibility(hint.high, active_idx)
-                if not ok:
-                    high = hint.high
-                else:
-                    low = hint.high
+        low, high = global_floor, ceiling
+        ok, violator = feasibility(low, active_idx)
+        if not ok:
+            raise InfeasiblePlanError(
+                "even the minimum utility layer does not fit the horizon "
+                f"(horizon={horizon}, capacity={capacity}); "
+                "increase the horizon or drop demand")
         while high - low > tolerance:
             mid = 0.5 * (low + high)
             ok, _ = feasibility(mid, active_idx)
@@ -485,8 +484,6 @@ def solve_onion(jobs: Sequence[OnionJob], capacity: int, *,
         if not candidates:  # pragma: no cover - defensive
             candidates = [active[0]]
         bottleneck = candidates[-1]  # the paper's greedy pick
-        seed = low
-        floor_candidates: Optional[frozenset] = None
 
         # Sacrifice ambiguity (a refinement beyond the paper's greedy
         # rule): when the layer bottoms out at the utility floor, the
@@ -498,51 +495,29 @@ def solve_onion(jobs: Sequence[OnionJob], capacity: int, *,
         # is provably capped at L*, so the greedy pick is optimal there.)
         if (lookahead > 0 and len(candidates) > 1
                 and low <= global_floor + tolerance):
-            floor_candidates = frozenset(jobs[i].job_id for i in candidates)
-            hinted = None
-            if (hint is not None and hint.bottleneck_id is not None
-                    and hint.candidate_ids == floor_candidates):
-                hinted = next((i for i in candidates
-                               if jobs[i].job_id == hint.bottleneck_id), None)
-            if hinted is not None:
-                # Unchanged candidate set: reuse the recorded sacrifice
-                # instead of re-running one bisection per candidate.  Any
-                # candidate pinned at its level-``low`` deadline preserves
-                # the staircase, so a stale hint is still a *valid* peel.
-                bottleneck = hinted
-            else:
-                shortlist = candidates[-lookahead:]
-                best_level = -math.inf
-                for candidate in shortlist:
-                    pin = _clamp_completion(
-                        float(bank.deadlines(low)[candidate]), horizon)
-                    remaining = np.array([i for i in active if i != candidate],
-                                         dtype=int)
-                    level = _lookahead_level(
-                        staircase, remaining, [float(pin)],
-                        [float(demands[candidate])], global_floor,
-                        float(bank.max_values[remaining].max())
-                        if remaining.size else global_floor,
-                        tolerance)
-                    if level > best_level + 1e-12:
-                        best_level = level
-                        bottleneck = candidate
-                if math.isfinite(best_level):
-                    # The lookahead verified this level feasible for the
-                    # remaining jobs with the winner pinned — a tighter
-                    # (still exact) seed for the next layer.
-                    seed = max(seed, best_level)
+            shortlist = candidates[-lookahead:]
+            best_level = -math.inf
+            for candidate in shortlist:
+                pin = _clamp_completion(
+                    float(bank.deadlines(low)[candidate]), horizon)
+                remaining = np.array([i for i in active if i != candidate],
+                                     dtype=int)
+                level = _lookahead_level(
+                    staircase, remaining, [float(pin)],
+                    [float(demands[candidate])], global_floor,
+                    max((jobs[i].utility.max_value() for i in remaining),
+                        default=global_floor),
+                    tolerance)
+                if level > best_level + 1e-12:
+                    best_level = level
+                    bottleneck = candidate
 
         deadline = float(bank.deadlines(low)[bottleneck])
         _peel_one(jobs[bottleneck], deadline, ledger, targets, layer, horizon)
         active.remove(bottleneck)
-        hints.append(LayerHint(low=low, high=high,
-                               candidate_ids=floor_candidates,
-                               bottleneck_id=jobs[bottleneck].job_id))
 
     return OnionResult(targets=targets, layers=layer,
-                       feasibility_checks=checks, horizon=horizon,
-                       hints=tuple(hints))
+                       feasibility_checks=checks, horizon=horizon)
 
 
 def _peel_one(job: OnionJob, deadline: float, ledger: _PeeledLedger,
@@ -596,3 +571,203 @@ def _lookahead_level(staircase, remaining_idx: np.ndarray,
         else:
             high = mid
     return low
+
+
+@dataclass(frozen=True)
+class PlannerJob:
+    """A job snapshot handed to the planner.
+
+    Attributes
+    ----------
+    job_id:
+        Unique identifier within one planning round.
+    utility:
+        Utility function of *total* completion-time (slots since
+        submission).
+    estimate:
+        The DE unit's current report for the remaining demand.
+    elapsed:
+        Slots already elapsed since the job's submission.
+    delta:
+        Optional per-job entropy threshold overriding the planner default,
+        matching the per-job ``delta_i`` of the formulation.
+    extra_demand:
+        Deterministic demand (container-time-slots) added on top of the
+        robust quantile — typically the expected remaining work of the
+        job's currently *running* tasks, which occupy containers beyond
+        the present slot but are not part of the pending-task estimate.
+    """
+
+    job_id: str
+    utility: UtilityFunction
+    estimate: DemandEstimate
+    elapsed: float = 0.0
+    delta: Optional[float] = None
+    extra_demand: float = 0.0
+
+
+@dataclass(frozen=True)
+class JobPlan:
+    """The planner's decision for one job.
+
+    ``robust_demand`` is ``eta_i`` (container-time-slots);
+    ``reference_demand`` the non-robust theta-quantile of the reference
+    distribution, for comparison.  ``target_completion`` is the onion
+    target and ``planned_completion`` the completion under the concrete
+    container plan (at most ``target + R_i`` when targets were feasible).
+    ``achievable`` is false when the expected utility is zero — the
+    paper's red-row warning that the job cannot meet any useful deadline.
+    """
+
+    job_id: str
+    robust_demand: float
+    reference_demand: float
+    target_completion: int
+    planned_completion: float
+    predicted_utility: float
+    achievable: bool
+    layer: int
+    wcde_iterations: int
+
+
+@dataclass
+class SchedulePlan:
+    """Complete output of one planning round."""
+
+    jobs: Dict[str, JobPlan]
+    container_plan: ContainerPlan
+    theta: float
+    horizon: int
+    layers: int
+    feasibility_checks: int
+    solve_seconds: float
+    _order: List[str] = field(default_factory=list, repr=False)
+
+    def next_slot_allocation(self) -> Dict[str, int]:
+        """Containers each job should hold in the immediate next slot."""
+        return self.container_plan.next_slot_allocation()
+
+    def impossible_jobs(self) -> List[str]:
+        """Jobs whose predicted utility is zero (the UI's red rows)."""
+        return [job_id for job_id in self._order
+                if not self.jobs[job_id].achievable]
+
+    def utility_vector(self) -> List[float]:
+        """Predicted utilities sorted non-decreasingly."""
+        return sorted(plan.predicted_utility for plan in self.jobs.values())
+
+
+class LegacyRushPlanner:
+    """Stateless solver for one round of the robust scheduling problem.
+
+    Parameters
+    ----------
+    capacity:
+        Cluster capacity ``C`` in containers.
+    theta:
+        Completion-probability percentile of the robust constraint (3).
+    delta:
+        Default entropy threshold ``delta_i`` for every job; the paper's
+        experiments use values around 0.7.
+    tolerance:
+        Bisection tolerance ``Delta`` of the onion peeling.
+    compensate_runtime:
+        Subtract ``R_i`` from each deadline so Theorem 3's mapping bound
+        still meets the original deadline (Section III-C).  Disable only
+        for experiments isolating the mapping error.
+    """
+
+    def __init__(self, capacity: int, *, theta: float = 0.9, delta: float = 0.7,
+                 tolerance: float = 0.01, compensate_runtime: bool = True) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"capacity must be positive, got {capacity}")
+        if not 0.0 <= theta <= 1.0:
+            raise ConfigurationError(f"theta={theta} outside [0, 1]")
+        if delta < 0.0:
+            raise ConfigurationError(f"delta={delta} must be >= 0")
+        if tolerance <= 0.0:
+            raise ConfigurationError(f"tolerance must be positive, got {tolerance}")
+        self.capacity = capacity
+        self.theta = theta
+        self.delta = delta
+        self.tolerance = tolerance
+        self.compensate_runtime = compensate_runtime
+
+    def robust_demand(self, estimate: DemandEstimate,
+                      delta: Optional[float] = None) -> tuple[float, float, int]:
+        """WCDE for one job: (eta, reference quantile, iterations), in slots."""
+        result = solve_wcde(estimate.pmf, self.theta,
+                            self.delta if delta is None else delta)
+        return (estimate.demand_at(result.eta_bin),
+                estimate.demand_at(result.reference_quantile),
+                result.iterations)
+
+    def plan(self, jobs: Sequence[PlannerJob],
+             horizon: Optional[int] = None) -> SchedulePlan:
+        """Produce a complete schedule plan for the given job snapshot."""
+        started = time.perf_counter()
+        ids = [job.job_id for job in jobs]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError("job ids must be unique within one plan")
+
+        etas: Dict[str, float] = {}
+        refs: Dict[str, float] = {}
+        iters: Dict[str, int] = {}
+        onion_jobs: List[OnionJob] = []
+        for job in jobs:
+            eta, ref, n_iter = self.robust_demand(job.estimate, job.delta)
+            eta += max(job.extra_demand, 0.0)
+            etas[job.job_id] = eta
+            refs[job.job_id] = ref
+            iters[job.job_id] = n_iter
+            compensation = (job.estimate.container_runtime
+                            if self.compensate_runtime else 0.0)
+            onion_jobs.append(OnionJob(
+                job_id=job.job_id, demand=eta, utility=job.utility,
+                elapsed=job.elapsed, compensation=compensation))
+
+        if horizon is None:
+            total = sum(etas.values())
+            max_runtime = max((job.estimate.container_runtime for job in jobs),
+                              default=1.0)
+            horizon = max(1, int(math.ceil(total / self.capacity))
+                          + int(math.ceil(max_runtime)) + 1)
+
+        onion = solve_onion(onion_jobs, self.capacity,
+                            tolerance=self.tolerance, horizon=horizon)
+
+        mapping_jobs = []
+        for job in jobs:
+            target = onion.targets[job.job_id].target_completion
+            runtime = job.estimate.container_runtime
+            # Tie-break equal targets by the utility recoverable from
+            # finishing one task-runtime earlier, so a salvageable late job
+            # is packed ahead of a completion-time-insensitive one.
+            earlier = max(target - runtime, 0.0)
+            recoverable = (job.utility.value(job.elapsed + earlier)
+                           - job.utility.value(job.elapsed + target))
+            mapping_jobs.append(MappingJob(
+                job_id=job.job_id, demand=etas[job.job_id], runtime=runtime,
+                target_completion=target, tie_break=recoverable))
+        container_plan = map_time_slots(mapping_jobs, self.capacity)
+
+        job_plans: Dict[str, JobPlan] = {}
+        for job in jobs:
+            target = onion.targets[job.job_id]
+            job_plans[job.job_id] = JobPlan(
+                job_id=job.job_id,
+                robust_demand=etas[job.job_id],
+                reference_demand=refs[job.job_id],
+                target_completion=target.target_completion,
+                planned_completion=container_plan.completion(job.job_id),
+                predicted_utility=target.utility_value,
+                achievable=target.achievable,
+                layer=target.layer,
+                wcde_iterations=iters[job.job_id])
+
+        return SchedulePlan(
+            jobs=job_plans, container_plan=container_plan, theta=self.theta,
+            horizon=onion.horizon, layers=onion.layers,
+            feasibility_checks=onion.feasibility_checks,
+            solve_seconds=time.perf_counter() - started,
+            _order=list(ids))

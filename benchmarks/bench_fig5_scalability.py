@@ -18,6 +18,7 @@ ceiling.
 
 from __future__ import annotations
 
+import json
 import tracemalloc
 
 import numpy as np
@@ -26,7 +27,7 @@ import pytest
 from repro import GaussianEstimator, PlannerJob, RushPlanner, SigmoidUtility
 from repro.analysis import format_table
 
-from _shared import FULL_SCALE, write_report
+from _shared import FULL_SCALE, OUT_DIR, write_report
 
 JOB_COUNTS = (20, 100, 500, 1000) if FULL_SCALE else (20, 100, 300)
 _REPORT_ROWS: dict = {}
@@ -81,6 +82,15 @@ def test_fig5_planner_scalability(benchmark, n_jobs):
                   "(linear), < 130 MB.")
         print("\n" + report)
         write_report("fig5.txt", report)
+        # Machine-readable twin of the text table, for CI trend tracking.
+        payload = {
+            "benchmark": "fig5_scalability",
+            "full_scale": FULL_SCALE,
+            "rows": [{"jobs": n, "plan_seconds": _REPORT_ROWS[n][0],
+                      "peak_mib": _REPORT_ROWS[n][1]} for n in JOB_COUNTS],
+        }
+        (OUT_DIR / "fig5.json").write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8")
 
         # Shape: runtime grows sub-quadratically in the job count.
         n_lo, n_hi = JOB_COUNTS[0], JOB_COUNTS[-1]

@@ -44,13 +44,17 @@ from repro.errors import (
 )
 from repro.core import (
     ContainerPlan,
+    IncrementalPlanner,
     JobPlan,
     MappingJob,
     OnionJob,
     OnionResult,
     PlannerJob,
+    PlanStats,
+    PresolvedDemand,
     RushPlanner,
     SchedulePlan,
+    WcdeCache,
     WcdeResult,
     map_time_slots,
     solve_onion,
@@ -88,7 +92,8 @@ from repro.schedulers import (
     Scheduler,
     SpeculativeScheduler,
 )
-from repro.ui import render_cluster_text, render_status_html, render_status_text
+from repro.ui import (render_cluster_text, render_profile_text,
+                      render_status_html, render_status_text)
 from repro.utility import (
     ConstantUtility,
     LinearUtility,
@@ -124,6 +129,7 @@ __all__ = [
     "solve_rem",
     "solve_wcde",
     "worst_case_demand",
+    "WcdeCache",
     "WcdeResult",
     "OnionJob",
     "OnionResult",
@@ -134,8 +140,11 @@ __all__ = [
     "map_time_slots",
     "PlannerJob",
     "JobPlan",
+    "PlanStats",
+    "PresolvedDemand",
     "SchedulePlan",
     "RushPlanner",
+    "IncrementalPlanner",
     # estimation
     "Pmf",
     "kl_divergence",
@@ -176,6 +185,7 @@ __all__ = [
     "render_status_text",
     "render_status_html",
     "render_cluster_text",
+    "render_profile_text",
     # workload
     "JobTemplate",
     "PUMA_TEMPLATES",

@@ -38,7 +38,8 @@ from repro.schedulers import (
     SpeculativeScheduler,
 )
 from repro.cluster.simulator import run_simulation
-from repro.ui.status import render_status_html, render_status_text
+from repro.ui.status import (render_profile_text, render_status_html,
+                             render_status_text)
 from repro.workload.generator import WorkloadConfig, WorkloadGenerator
 from repro.workload.trace import load_trace, save_trace
 
@@ -78,6 +79,9 @@ def build_parser() -> argparse.ArgumentParser:
                           default="rush")
     simulate.add_argument("--speculative", action="store_true",
                           help="wrap the policy with speculative execution")
+    simulate.add_argument("--profile", action="store_true",
+                          help="print the planner-cost profile after the "
+                               "run (RUSH policy only)")
     simulate.add_argument("--seed", type=int, default=0,
                           help="failure-injection seed")
 
@@ -118,9 +122,8 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     specs = load_trace(args.trace)
-    scheduler = POLICY_FACTORIES[args.policy]()
-    if args.speculative:
-        scheduler = SpeculativeScheduler(scheduler)
+    policy = POLICY_FACTORIES[args.policy]()
+    scheduler = SpeculativeScheduler(policy) if args.speculative else policy
     result = run_simulation(specs, args.capacity, scheduler, seed=args.seed)
     rows = [[r.job_id, r.sensitivity, r.arrival, r.runtime, r.latency,
              r.utility_value, "yes" if r.completed else "NO"]
@@ -134,6 +137,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
           f"task failures={result.task_failures}  "
           f"speculative launches={result.speculative_launches}  "
           f"total utility={result.total_utility():.1f}")
+    if args.profile:
+        profile = getattr(policy, "profile", None)
+        if profile is None:
+            print("\n--profile requires a planning policy "
+                  f"(got {args.policy}); nothing to report")
+        else:
+            print("\n" + render_profile_text(profile()))
     return 0
 
 

@@ -8,27 +8,45 @@ from repro.core.feasibility import (
 from repro.core.mapping import ContainerPlan, MappingJob, Segment, map_time_slots
 from repro.core.onion import (
     JobTarget,
+    LayerHint,
     OnionJob,
     OnionResult,
     default_horizon,
     solve_onion,
 )
-from repro.core.planner import JobPlan, PlannerJob, RushPlanner, SchedulePlan
-from repro.core.rem import RemSolution, rem_min_kl, rem_min_kl_from_cdf, solve_rem
+from repro.core.planner import (
+    IncrementalPlanner,
+    JobPlan,
+    PlannerJob,
+    PlanStats,
+    PresolvedDemand,
+    RushPlanner,
+    SchedulePlan,
+)
+from repro.core.rem import (
+    RemSolution,
+    rem_min_kl,
+    rem_min_kl_from_cdf,
+    rem_min_kl_from_cdf_array,
+    solve_rem,
+)
 from repro.core.tas_lp import lp_feasible, solve_tas_lp
-from repro.core.wcde import WcdeResult, solve_wcde, worst_case_demand
+from repro.core.wcde import WcdeCache, WcdeResult, solve_wcde, worst_case_demand
 
 __all__ = [
     "RemSolution",
     "solve_rem",
     "rem_min_kl",
     "rem_min_kl_from_cdf",
+    "rem_min_kl_from_cdf_array",
+    "WcdeCache",
     "WcdeResult",
     "solve_wcde",
     "worst_case_demand",
     "OnionJob",
     "JobTarget",
     "OnionResult",
+    "LayerHint",
     "solve_onion",
     "default_horizon",
     "MappingJob",
@@ -42,6 +60,9 @@ __all__ = [
     "minimum_capacity",
     "PlannerJob",
     "JobPlan",
+    "PlanStats",
+    "PresolvedDemand",
     "SchedulePlan",
     "RushPlanner",
+    "IncrementalPlanner",
 ]

@@ -13,10 +13,25 @@ DE unit — the planner
 3. maps the targets onto ``C`` container queues (Algorithm 4), yielding a
    concrete assignment whose first slot the CA unit applies.
 
-The planner is stateless: the surrounding system (the cluster simulator's
-:class:`~repro.schedulers.rush.RushScheduler`, or a real resource manager)
-re-invokes it on every scheduling event, closing the paper's feedback
-cycle of estimation, recalculation and allocation.
+The planner's *decisions* are stateless — the surrounding system (the
+cluster simulator's :class:`~repro.schedulers.rush.RushScheduler`, or a
+real resource manager) re-invokes it on every scheduling event, closing
+the paper's feedback cycle of estimation, recalculation and allocation —
+but between consecutive events most jobs' DE output is bit-identical, so
+re-solving everything from scratch wastes almost all of the work.  The
+incremental machinery amortizes it three ways:
+
+* a content-addressed :class:`~repro.core.wcde.WcdeCache` memoizes WCDE
+  solves under ``(PMF fingerprint, theta, delta)``;
+* callers that track job dirtiness can hand back :class:`PresolvedDemand`
+  values so clean jobs skip stage 1 entirely (see
+  :class:`IncrementalPlanner`);
+* the onion warm start re-probes the previous plan's per-layer brackets,
+  collapsing unchanged layers to two feasibility checks.
+
+Every plan carries a :class:`PlanStats` record (cache hits/misses,
+per-stage seconds, peels, feasibility checks) so the cost of the pipeline
+is an observable number rather than a guess.
 """
 
 from __future__ import annotations
@@ -24,16 +39,17 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.core.mapping import ContainerPlan, MappingJob, map_time_slots
-from repro.core.onion import OnionJob, solve_onion
-from repro.core.wcde import solve_wcde
+from repro.core.onion import LayerHint, OnionJob, solve_onion
+from repro.core.wcde import WcdeCache, solve_wcde
 from repro.estimation.base import DemandEstimate
 from repro.utility.base import UtilityFunction
 
-__all__ = ["PlannerJob", "JobPlan", "SchedulePlan", "RushPlanner"]
+__all__ = ["PlannerJob", "JobPlan", "PlanStats", "PresolvedDemand",
+           "SchedulePlan", "RushPlanner", "IncrementalPlanner"]
 
 
 @dataclass(frozen=True)
@@ -70,16 +86,33 @@ class PlannerJob:
 
 
 @dataclass(frozen=True)
+class PresolvedDemand:
+    """A WCDE answer computed in an earlier round, still valid for a job.
+
+    ``eta`` and ``reference`` are in container-time-slots (bin width
+    already applied); ``iterations`` preserves the original bisection
+    count for reporting.  Valid exactly as long as the job's reference
+    PMF, ``theta`` and ``delta`` are unchanged — the invariant the caller
+    (scheduler dirty tracking) is responsible for.
+    """
+
+    eta: float
+    reference: float
+    iterations: int
+
+
+@dataclass(frozen=True)
 class JobPlan:
     """The planner's decision for one job.
 
-    ``robust_demand`` is ``eta_i`` (container-time-slots);
-    ``reference_demand`` the non-robust theta-quantile of the reference
-    distribution, for comparison.  ``target_completion`` is the onion
-    target and ``planned_completion`` the completion under the concrete
-    container plan (at most ``target + R_i`` when targets were feasible).
-    ``achievable`` is false when the expected utility is zero — the
-    paper's red-row warning that the job cannot meet any useful deadline.
+    ``robust_demand`` is ``eta_i`` plus the job's ``extra_demand``
+    (container-time-slots); ``reference_demand`` the non-robust
+    theta-quantile of the reference distribution, for comparison.
+    ``target_completion`` is the onion target and ``planned_completion``
+    the completion under the concrete container plan (at most
+    ``target + R_i`` when targets were feasible).  ``achievable`` is false
+    when the expected utility is zero — the paper's red-row warning that
+    the job cannot meet any useful deadline.
     """
 
     job_id: str
@@ -94,6 +127,29 @@ class JobPlan:
 
 
 @dataclass
+class PlanStats:
+    """Perf counters for one planning round.
+
+    ``wcde_presolved`` jobs skipped stage 1 entirely (the caller supplied
+    a still-valid eta), ``wcde_cache_hits`` hit the content-addressed
+    memo, ``wcde_cache_misses`` paid a full bisection.  Stage seconds are
+    wall-clock; ``peels`` is the onion layer count and
+    ``feasibility_checks`` the staircase evaluations (the onion's unit of
+    work).  ``warm_start`` records whether the onion received hints.
+    """
+
+    wcde_presolved: int = 0
+    wcde_cache_hits: int = 0
+    wcde_cache_misses: int = 0
+    wcde_seconds: float = 0.0
+    onion_seconds: float = 0.0
+    mapping_seconds: float = 0.0
+    peels: int = 0
+    feasibility_checks: int = 0
+    warm_start: bool = False
+
+
+@dataclass
 class SchedulePlan:
     """Complete output of one planning round."""
 
@@ -104,7 +160,11 @@ class SchedulePlan:
     layers: int
     feasibility_checks: int
     solve_seconds: float
+    stats: PlanStats = field(default_factory=PlanStats)
+    onion_hints: Tuple[LayerHint, ...] = field(default=(), repr=False)
     _order: List[str] = field(default_factory=list, repr=False)
+    _presolved: Dict[str, PresolvedDemand] = field(default_factory=dict,
+                                                   repr=False)
 
     def next_slot_allocation(self) -> Dict[str, int]:
         """Containers each job should hold in the immediate next slot."""
@@ -119,9 +179,18 @@ class SchedulePlan:
         """Predicted utilities sorted non-decreasingly."""
         return sorted(plan.predicted_utility for plan in self.jobs.values())
 
+    def presolved_demands(self) -> Dict[str, PresolvedDemand]:
+        """Per-job WCDE answers (pre-``extra_demand``), for the next round.
+
+        Feed entries for *clean* jobs back into :meth:`RushPlanner.plan`
+        as ``presolved`` so they skip stage 1; :class:`IncrementalPlanner`
+        does this bookkeeping automatically.
+        """
+        return dict(self._presolved)
+
 
 class RushPlanner:
-    """Stateless solver for one round of the robust scheduling problem.
+    """Solver for one round of the robust scheduling problem.
 
     Parameters
     ----------
@@ -138,10 +207,16 @@ class RushPlanner:
         Subtract ``R_i`` from each deadline so Theorem 3's mapping bound
         still meets the original deadline (Section III-C).  Disable only
         for experiments isolating the mapping error.
+    wcde_cache_size:
+        Entry bound of the content-addressed WCDE memo; 0 disables
+        memoization (every solve pays the full bisection).  The cache
+        never changes results — an entry is keyed by everything the solve
+        depends on — so this is purely a speed/memory dial.
     """
 
     def __init__(self, capacity: int, *, theta: float = 0.9, delta: float = 0.7,
-                 tolerance: float = 0.01, compensate_runtime: bool = True) -> None:
+                 tolerance: float = 0.01, compensate_runtime: bool = True,
+                 wcde_cache_size: int = 4096) -> None:
         if capacity <= 0:
             raise ConfigurationError(f"capacity must be positive, got {capacity}")
         if not 0.0 <= theta <= 1.0:
@@ -150,35 +225,67 @@ class RushPlanner:
             raise ConfigurationError(f"delta={delta} must be >= 0")
         if tolerance <= 0.0:
             raise ConfigurationError(f"tolerance must be positive, got {tolerance}")
+        if wcde_cache_size < 0:
+            raise ConfigurationError(
+                f"wcde_cache_size must be >= 0, got {wcde_cache_size}")
         self.capacity = capacity
         self.theta = theta
         self.delta = delta
         self.tolerance = tolerance
         self.compensate_runtime = compensate_runtime
+        self.wcde_cache: Optional[WcdeCache] = (
+            WcdeCache(wcde_cache_size) if wcde_cache_size else None)
 
     def robust_demand(self, estimate: DemandEstimate,
                       delta: Optional[float] = None) -> tuple[float, float, int]:
         """WCDE for one job: (eta, reference quantile, iterations), in slots."""
-        result = solve_wcde(estimate.pmf, self.theta,
-                            self.delta if delta is None else delta)
+        theta = self.theta
+        resolved_delta = self.delta if delta is None else delta
+        if self.wcde_cache is not None:
+            result = self.wcde_cache.solve(estimate.pmf, theta, resolved_delta)
+        else:
+            result = solve_wcde(estimate.pmf, theta, resolved_delta,
+                                need_worst_pmf=False)
         return (estimate.demand_at(result.eta_bin),
                 estimate.demand_at(result.reference_quantile),
                 result.iterations)
 
     def plan(self, jobs: Sequence[PlannerJob],
-             horizon: Optional[int] = None) -> SchedulePlan:
-        """Produce a complete schedule plan for the given job snapshot."""
+             horizon: Optional[int] = None, *,
+             presolved: Optional[Mapping[str, PresolvedDemand]] = None,
+             warm_start: Optional[Sequence[LayerHint]] = None) -> SchedulePlan:
+        """Produce a complete schedule plan for the given job snapshot.
+
+        ``presolved`` maps job ids to WCDE answers from an earlier round
+        that the caller knows are still valid (unchanged reference PMF,
+        theta and delta); those jobs skip stage 1.  ``warm_start`` is the
+        previous plan's ``onion_hints``; see :func:`repro.core.onion
+        .solve_onion` for its exact (probe-only) semantics.
+        """
         started = time.perf_counter()
         ids = [job.job_id for job in jobs]
         if len(set(ids)) != len(ids):
             raise ConfigurationError("job ids must be unique within one plan")
+        stats = PlanStats(warm_start=warm_start is not None)
+        cache = self.wcde_cache
+        hits0 = cache.hits if cache is not None else 0
+        misses0 = cache.misses if cache is not None else 0
 
         etas: Dict[str, float] = {}
         refs: Dict[str, float] = {}
         iters: Dict[str, int] = {}
+        presolved_out: Dict[str, PresolvedDemand] = {}
         onion_jobs: List[OnionJob] = []
         for job in jobs:
-            eta, ref, n_iter = self.robust_demand(job.estimate, job.delta)
+            pre = presolved.get(job.job_id) if presolved else None
+            if pre is not None:
+                eta, ref, n_iter = pre.eta, pre.reference, pre.iterations
+                stats.wcde_presolved += 1
+                presolved_out[job.job_id] = pre
+            else:
+                eta, ref, n_iter = self.robust_demand(job.estimate, job.delta)
+                presolved_out[job.job_id] = PresolvedDemand(
+                    eta=eta, reference=ref, iterations=n_iter)
             eta += max(job.extra_demand, 0.0)
             etas[job.job_id] = eta
             refs[job.job_id] = ref
@@ -188,6 +295,10 @@ class RushPlanner:
             onion_jobs.append(OnionJob(
                 job_id=job.job_id, demand=eta, utility=job.utility,
                 elapsed=job.elapsed, compensation=compensation))
+        if cache is not None:
+            stats.wcde_cache_hits = cache.hits - hits0
+            stats.wcde_cache_misses = cache.misses - misses0
+        stats.wcde_seconds = time.perf_counter() - started
 
         if horizon is None:
             total = sum(etas.values())
@@ -196,9 +307,15 @@ class RushPlanner:
             horizon = max(1, int(math.ceil(total / self.capacity))
                           + int(math.ceil(max_runtime)) + 1)
 
+        onion_started = time.perf_counter()
         onion = solve_onion(onion_jobs, self.capacity,
-                            tolerance=self.tolerance, horizon=horizon)
+                            tolerance=self.tolerance, horizon=horizon,
+                            warm_start=warm_start)
+        stats.onion_seconds = time.perf_counter() - onion_started
+        stats.peels = onion.layers
+        stats.feasibility_checks = onion.feasibility_checks
 
+        mapping_started = time.perf_counter()
         mapping_jobs = []
         for job in jobs:
             target = onion.targets[job.job_id].target_completion
@@ -213,6 +330,7 @@ class RushPlanner:
                 job_id=job.job_id, demand=etas[job.job_id], runtime=runtime,
                 target_completion=target, tie_break=recoverable))
         container_plan = map_time_slots(mapping_jobs, self.capacity)
+        stats.mapping_seconds = time.perf_counter() - mapping_started
 
         job_plans: Dict[str, JobPlan] = {}
         for job in jobs:
@@ -233,4 +351,75 @@ class RushPlanner:
             horizon=onion.horizon, layers=onion.layers,
             feasibility_checks=onion.feasibility_checks,
             solve_seconds=time.perf_counter() - started,
-            _order=list(ids))
+            stats=stats, onion_hints=onion.hints,
+            _order=list(ids), _presolved=presolved_out)
+
+
+@dataclass
+class _JobMemo:
+    """Per-job incremental state: the estimate the presolve belongs to."""
+
+    estimate: DemandEstimate
+    delta: Optional[float]
+    presolved: PresolvedDemand
+
+
+class IncrementalPlanner:
+    """A planning session that carries state from one round to the next.
+
+    Wraps a :class:`RushPlanner` and keeps, per job, the WCDE answer of
+    the last round together with the exact :class:`DemandEstimate` object
+    it was computed from.  A job whose caller hands back the *same
+    estimate object* (and per-job delta) is clean — its eta cannot have
+    changed — and is presolved; anything else falls through to the
+    planner's content-addressed WCDE cache and, failing that, a fresh
+    bisection.  The previous plan's onion hints are forwarded as a warm
+    start unless ``warm_start=False``.
+
+    With warm start off, every plan is bit-identical to what a cold
+    :class:`RushPlanner` would produce for the same snapshot (the
+    equivalence the property tests pin down); with it on, drifted
+    snapshots may settle on within-tolerance different utility levels in
+    exchange for collapsing unchanged onion layers to two feasibility
+    checks.
+    """
+
+    def __init__(self, planner: RushPlanner, *, warm_start: bool = True) -> None:
+        self.planner = planner
+        self.warm_start = warm_start
+        self._memo: Dict[str, _JobMemo] = {}
+        self._hints: Optional[Tuple[LayerHint, ...]] = None
+        self.presolve_hits = 0
+        self.presolve_misses = 0
+
+    def forget(self, job_id: str) -> None:
+        """Drop a departed job's state."""
+        self._memo.pop(job_id, None)
+
+    def reset(self) -> None:
+        """Drop all incremental state (presolves and warm-start hints)."""
+        self._memo.clear()
+        self._hints = None
+
+    def plan(self, jobs: Sequence[PlannerJob],
+             horizon: Optional[int] = None) -> SchedulePlan:
+        """One planning round; clean jobs skip the WCDE stage."""
+        presolved: Dict[str, PresolvedDemand] = {}
+        for job in jobs:
+            memo = self._memo.get(job.job_id)
+            if (memo is not None and memo.estimate is job.estimate
+                    and memo.delta == job.delta):
+                presolved[job.job_id] = memo.presolved
+                self.presolve_hits += 1
+            else:
+                self.presolve_misses += 1
+        plan = self.planner.plan(
+            jobs, horizon, presolved=presolved,
+            warm_start=self._hints if self.warm_start else None)
+        fresh = plan.presolved_demands()
+        for job in jobs:
+            self._memo[job.job_id] = _JobMemo(
+                estimate=job.estimate, delta=job.delta,
+                presolved=fresh[job.job_id])
+        self._hints = plan.onion_hints
+        return plan

@@ -28,7 +28,8 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.estimation.pmf import Pmf
 
-__all__ = ["RemSolution", "solve_rem", "rem_min_kl", "rem_min_kl_from_cdf"]
+__all__ = ["RemSolution", "solve_rem", "rem_min_kl", "rem_min_kl_from_cdf",
+           "rem_min_kl_from_cdf_array"]
 
 
 @dataclass(frozen=True)
@@ -84,6 +85,33 @@ def rem_min_kl_from_cdf(reference_cdf_at_l: float, theta: float) -> float:
     head = 0.0 if theta == 0.0 else theta * math.log(theta / phi_l)
     tail = (1.0 - theta) * math.log((1.0 - theta) / (1.0 - phi_l))
     return head + tail
+
+
+def rem_min_kl_from_cdf_array(reference_cdf: np.ndarray, theta: float) -> np.ndarray:
+    """Vectorized :func:`rem_min_kl_from_cdf` over an array of CDF values.
+
+    Evaluates the binary-KL objective ``g`` at every entry in one numpy
+    pass, which lets the WCDE solver sweep a whole candidate range in a
+    single call instead of one scalar evaluation per bisection probe.
+    Entries where the constraint is slack evaluate to 0 and saturated
+    entries (``Phi(L) = 1`` with ``theta < 1``) to ``inf``, exactly like
+    the scalar form.
+    """
+    theta = _validate_theta(theta)
+    phi = np.clip(np.asarray(reference_cdf, dtype=float), 0.0, 1.0)
+    out = np.zeros(phi.shape)
+    if theta >= 1.0:
+        return out
+    binding = phi > theta
+    saturated = phi >= 1.0
+    out[saturated] = math.inf
+    active = binding & ~saturated
+    if np.any(active):
+        p = phi[active]
+        head = 0.0 if theta == 0.0 else theta * np.log(theta / p)
+        tail = (1.0 - theta) * np.log((1.0 - theta) / (1.0 - p))
+        out[active] = head + tail
+    return out
 
 
 def rem_min_kl(reference: Pmf, target_bin: int, theta: float) -> float:

@@ -21,24 +21,36 @@ The search exploits two monotonicity facts:
   reference's support, so the support maximum caps the answer.
 
 With the O(1) REM evaluation of :mod:`repro.core.rem`, one WCDE solve
-costs ``O(tau_max)`` for the CDF precomputation plus ``O(log tau_max)``
-bisection steps — cheap enough to re-run for every job on every
-scheduling event, as the RUSH feedback cycle requires.
+costs ``O(log tau_max)`` bisection steps over the reference's cached CDF
+(narrow search ranges are swept in a single vectorized REM evaluation
+instead).  The adversary's boundary distribution is *not* materialized by
+the solve: :attr:`WcdeResult.worst_pmf` runs the closed-form REM solve on
+first access, so hot paths that only consume ``eta_bin`` — the planner —
+never pay for the allocation.  For planning loops that re-solve the same
+references every scheduling event, :class:`WcdeCache` memoizes whole
+results under the content key ``(PMF fingerprint, theta, delta)``.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.core.rem import rem_min_kl_from_cdf, solve_rem
+from repro.core.rem import (rem_min_kl_from_cdf, rem_min_kl_from_cdf_array,
+                            solve_rem)
 from repro.estimation.pmf import Pmf
 
-__all__ = ["WcdeResult", "solve_wcde", "worst_case_demand"]
+__all__ = ["WcdeResult", "WcdeCache", "solve_wcde", "worst_case_demand"]
+
+#: Candidate ranges at most this wide skip the bisection loop and are
+#: swept with one vectorized REM evaluation over the cached CDF.
+_SCAN_WIDTH = 64
 
 
-@dataclass(frozen=True)
 class WcdeResult:
     """Outcome of a WCDE solve.
 
@@ -56,21 +68,54 @@ class WcdeResult:
         ``eta_bin - 1``, whose CDF there equals ``theta`` exactly in the
         binding case.  Any infinitesimally stronger perturbation would push
         the quantile to ``eta_bin``, which is why ``eta_bin`` slots must be
-        reserved.
+        reserved.  Computed lazily on first access (the planner's hot path
+        only reads ``eta_bin`` and never pays for it).
     worst_kl:
-        Its divergence from the reference.
+        Its divergence from the reference.  Also lazy.
     iterations:
-        Number of bisection steps taken.
+        Number of bisection steps taken (a vectorized range sweep counts
+        as one).
     """
 
-    eta_bin: int
-    reference_quantile: int
-    worst_pmf: Pmf
-    worst_kl: float
-    iterations: int
+    __slots__ = ("eta_bin", "reference_quantile", "iterations",
+                 "_reference", "_theta", "_worst_pmf", "_worst_kl")
+
+    def __init__(self, eta_bin: int, reference_quantile: int, iterations: int,
+                 reference: Pmf, theta: float) -> None:
+        self.eta_bin = eta_bin
+        self.reference_quantile = reference_quantile
+        self.iterations = iterations
+        self._reference = reference
+        self._theta = theta
+        self._worst_pmf: Optional[Pmf] = None
+        self._worst_kl: Optional[float] = None
+
+    def _materialize(self) -> None:
+        boundary = max(self.eta_bin - 1, 0)
+        sol = solve_rem(self._reference, boundary, self._theta)
+        self._worst_pmf = sol.pmf if sol.pmf is not None else self._reference
+        self._worst_kl = sol.kl
+
+    @property
+    def worst_pmf(self) -> Pmf:
+        if self._worst_pmf is None:
+            self._materialize()
+        return self._worst_pmf  # type: ignore[return-value]
+
+    @property
+    def worst_kl(self) -> float:
+        if self._worst_kl is None:
+            self._materialize()
+        return self._worst_kl  # type: ignore[return-value]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"WcdeResult(eta_bin={self.eta_bin}, "
+                f"reference_quantile={self.reference_quantile}, "
+                f"iterations={self.iterations})")
 
 
-def solve_wcde(reference: Pmf, theta: float, delta: float) -> WcdeResult:
+def solve_wcde(reference: Pmf, theta: float, delta: float, *,
+               need_worst_pmf: bool = True) -> WcdeResult:
     """Solve the WCDE problem by bisection (Algorithm 2).
 
     Parameters
@@ -82,6 +127,13 @@ def solve_wcde(reference: Pmf, theta: float, delta: float) -> WcdeResult:
     delta:
         Entropy threshold ``delta_i >= 0``; larger values concede more
         ground to the adversary and yield more conservative schedules.
+    need_worst_pmf:
+        When true (the default, matching the historical API), the
+        adversary's boundary distribution is materialized before the
+        result is returned.  Pass ``False`` on hot paths that only
+        consume ``eta_bin``/``reference_quantile``; the ``worst_pmf`` and
+        ``worst_kl`` attributes then run the REM solve lazily on first
+        access.
     """
     if not 0.0 <= theta <= 1.0:
         raise ConfigurationError(f"theta={theta} outside [0, 1]")
@@ -106,29 +158,93 @@ def solve_wcde(reference: Pmf, theta: float, delta: float) -> WcdeResult:
         iterations = 0
     else:
         cdf = reference.cdf()
-
-        def feasible(level: int) -> bool:
-            return rem_min_kl_from_cdf(float(cdf[level]), theta) <= delta + 1e-12
-
         low = anchor - 1      # CDF(anchor - 1) < theta, so g = 0: feasible
         high = ceiling        # g(support_max) = inf: infeasible
-        iterations = 0
-        while high - low > 1:
-            mid = (low + high) // 2
-            iterations += 1
-            if feasible(mid):
-                low = mid
-            else:
-                high = mid
+        if high - low <= _SCAN_WIDTH:
+            # One vectorized REM sweep over the whole candidate range:
+            # feasibility is a prefix property (g is non-decreasing), so
+            # the last feasible level is the bisection's fixed point.
+            g = rem_min_kl_from_cdf_array(cdf[low + 1: high], theta)
+            feasible = np.nonzero(g <= delta + 1e-12)[0]
+            low = low + 1 + int(feasible[-1]) if feasible.size else low
+            iterations = 1
+        else:
+            def feasible_at(level: int) -> bool:
+                return rem_min_kl_from_cdf(float(cdf[level]), theta) <= delta + 1e-12
+
+            iterations = 0
+            while high - low > 1:
+                mid = (low + high) // 2
+                iterations += 1
+                if feasible_at(mid):
+                    low = mid
+                else:
+                    high = mid
         eta = max(low + 1, anchor)
 
-    boundary = max(eta - 1, 0)
-    sol = solve_rem(reference, boundary, theta)
-    worst = sol.pmf if sol.pmf is not None else reference
-    return WcdeResult(eta_bin=eta, reference_quantile=anchor,
-                      worst_pmf=worst, worst_kl=sol.kl, iterations=iterations)
+    result = WcdeResult(eta_bin=eta, reference_quantile=anchor,
+                        iterations=iterations, reference=reference,
+                        theta=theta)
+    if need_worst_pmf:
+        result._materialize()
+    return result
+
+
+class WcdeCache:
+    """Bounded LRU memo of WCDE solves, keyed by distribution content.
+
+    The key is ``(reference.fingerprint(), theta, delta)`` — a pure
+    content address: any two references with bit-identical probability
+    vectors share an entry, no matter which estimator produced them.
+    Cached results are the lazy :class:`WcdeResult` objects themselves, so
+    a hit costs one dict lookup and materializing ``worst_pmf`` through a
+    cached result benefits every later caller of the same entry.
+
+    ``hits`` / ``misses`` counters make the cache's effectiveness an
+    observable number (surfaced by the planner's :class:`PlanStats
+    <repro.core.planner.PlanStats>`).
+    """
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        if maxsize <= 0:
+            raise ConfigurationError(
+                f"WcdeCache maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[Tuple[bytes, float, float], WcdeResult]" = \
+            OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop all entries and reset the hit/miss counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def solve(self, reference: Pmf, theta: float, delta: float) -> WcdeResult:
+        """Memoized :func:`solve_wcde` with the lazy-``worst_pmf`` path."""
+        key = (reference.fingerprint(), float(theta), float(delta))
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry
+        self.misses += 1
+        entry = solve_wcde(reference, theta, delta, need_worst_pmf=False)
+        self._entries[key] = entry
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return entry
 
 
 def worst_case_demand(reference: Pmf, theta: float, delta: float) -> int:
     """Convenience wrapper returning only the robust demand bin."""
-    return solve_wcde(reference, theta, delta).eta_bin
+    return solve_wcde(reference, theta, delta, need_worst_pmf=False).eta_bin

@@ -14,6 +14,7 @@ speak :class:`Pmf`.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from typing import Iterable, Sequence
 
@@ -45,7 +46,7 @@ class Pmf:
     shared between scheduler components.
     """
 
-    __slots__ = ("_probs", "_cdf")
+    __slots__ = ("_probs", "_cdf", "_fingerprint")
 
     def __init__(self, probs: Iterable[float], *, normalize: bool = False) -> None:
         arr = np.asarray(list(probs) if not isinstance(probs, np.ndarray) else probs,
@@ -73,6 +74,7 @@ class Pmf:
         cdf = np.cumsum(arr)
         cdf.setflags(write=False)
         self._cdf = cdf
+        self._fingerprint: bytes | None = None
 
     # -- constructors ---------------------------------------------------
 
@@ -173,6 +175,21 @@ class Pmf:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Pmf(tau_max={self.tau_max}, mean={self.mean():.3f}, "
                 f"std={self.std():.3f})")
+
+    def fingerprint(self) -> bytes:
+        """Content digest of the exact probability vector.
+
+        Two PMFs share a fingerprint iff their (normalized) probability
+        vectors are bit-identical, which makes the digest a safe memo key
+        for any pure function of the distribution — notably the WCDE
+        solve, whose result is fully determined by ``(fingerprint, theta,
+        delta)``.  The digest is computed once and cached; it covers the
+        support size, so a padded copy hashes differently.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = hashlib.blake2b(
+                self._probs.tobytes(), digest_size=16).digest()
+        return self._fingerprint
 
     # -- statistics -----------------------------------------------------
 

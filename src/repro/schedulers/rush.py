@@ -3,7 +3,7 @@
 Each job gets a Distribution Estimator unit at arrival; completed-task
 runtimes stream into it.  Whenever a container frees, the scheduler
 
-1. refreshes every active job's demand estimate,
+1. refreshes the demand estimate of every *dirty* active job,
 2. invokes the :class:`~repro.core.planner.RushPlanner` (WCDE -> onion
    peeling -> continuous time-slot mapping),
 3. reads only the *first slot* of the resulting container plan and grants
@@ -17,6 +17,26 @@ feedback cycle that lets RUSH recover from earlier estimation mistakes.
 Plans are cached within a (slot, completion-count) epoch so several grants
 in the same slot reuse one solve.
 
+Between consecutive events, most jobs observed nothing: no task sample,
+no failure, no launch.  Their DE report is bit-identical, so the
+scheduler tracks per-job dirtiness — a job is marked dirty by a task
+completion, failure or launch (pending set changed) and at arrival — and
+re-runs the estimator only for dirty jobs.  Clean jobs reuse the cached
+:class:`~repro.estimation.base.DemandEstimate` *object*, which lets the
+:class:`~repro.core.planner.IncrementalPlanner` presolve their robust
+demand and the onion warm start collapse unchanged layers.  The expected
+remaining work of running tasks (``extra_demand``) drifts every slot and
+is recomputed on every plan; it sits outside the memoized stage.
+
+Pass ``incremental=False`` to restore the recompute-everything behaviour
+(useful for A/B tests; the equivalence suite asserts both modes schedule
+identically), or ``warm_start=True`` to additionally forward each plan's
+onion-layer brackets to the next solve.  Warm starting is *approximate*:
+on a drifted snapshot the bisection may settle on a within-tolerance
+different utility level than a cold solve, so it is off by default in
+simulation and reserved for high-frequency replanning loops where the
+tolerance slack is acceptable.
+
 When the plan offers no job a larger share (e.g. only jobs the plan defers
 remain), the scheduler is work-conserving by default and falls back to the
 earliest-ebbed deadline; pass ``work_conserving=False`` to let it idle
@@ -26,10 +46,11 @@ containers instead, which matches a stricter reading of the plan.
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Set, Tuple
 
-from repro.core.planner import PlannerJob, RushPlanner, SchedulePlan
-from repro.estimation.base import DistributionEstimator
+from repro.core.planner import (IncrementalPlanner, PlannerJob, RushPlanner,
+                                SchedulePlan)
+from repro.estimation.base import DemandEstimate, DistributionEstimator
 from repro.estimation.gaussian import GaussianEstimator
 from repro.schedulers.base import Scheduler
 
@@ -63,6 +84,19 @@ class RushScheduler(Scheduler):
     work_conserving:
         Grant a container to *some* pending job even when the plan gives
         nobody a larger share (default); disable to honor plan idling.
+    incremental:
+        Track per-job dirtiness, reuse clean estimates and presolve their
+        robust demands (default).  Off, every event recomputes everything
+        — the pre-incremental behaviour, kept for A/B comparison.
+    warm_start:
+        Forward each plan's onion-layer brackets to the next solve
+        (requires ``incremental``).  Unchanged layers collapse to two
+        feasibility checks, but drifted snapshots may settle on
+        within-tolerance different utility levels than a cold solve —
+        hence off by default.
+    wcde_cache_size:
+        Entry bound of the planner's content-addressed WCDE memo
+        (0 disables it).
     """
 
     name = "RUSH"
@@ -72,7 +106,10 @@ class RushScheduler(Scheduler):
                  estimator_factory: EstimatorFactory = _default_estimator_factory,
                  default_prior_runtime: float = 10.0,
                  work_conserving: bool = True,
-                 compensate_runtime: bool = True) -> None:
+                 compensate_runtime: bool = True,
+                 incremental: bool = True,
+                 warm_start: bool = False,
+                 wcde_cache_size: int = 4096) -> None:
         super().__init__()
         self._theta = theta
         self._delta = delta
@@ -81,13 +118,28 @@ class RushScheduler(Scheduler):
         self._estimator_factory = estimator_factory
         self._default_prior = default_prior_runtime
         self._work_conserving = work_conserving
+        self._incremental_enabled = incremental
+        self._warm_start = warm_start
+        self._wcde_cache_size = wcde_cache_size
         self._estimators: Dict[str, DistributionEstimator] = {}
         self._planner: Optional[RushPlanner] = None
+        self._incremental: Optional[IncrementalPlanner] = None
         self._plan: Optional[SchedulePlan] = None
         self._plan_epoch: Optional[tuple] = None
         self._completions = 0
+        # Dirty tracking: jobs whose DE inputs changed since their cached
+        # estimate was computed.  The cache stores the estimate together
+        # with the pending count it was computed for, as a belt-and-braces
+        # guard against any pending-set change that slips past the hooks.
+        self._dirty: Set[str] = set()
+        self._estimates: Dict[str, Tuple[DemandEstimate, int]] = {}
         self.planner_seconds = 0.0
         self.plans_computed = 0
+        self.estimates_refreshed = 0
+        self.estimates_reused = 0
+        self._stage_seconds = {"wcde": 0.0, "onion": 0.0, "mapping": 0.0}
+        self._feasibility_checks = 0
+        self._peels = 0
 
     # -- lifecycle hooks -------------------------------------------------------
 
@@ -95,16 +147,26 @@ class RushScheduler(Scheduler):
         super().bind(sim)
         self._planner = RushPlanner(sim.capacity, theta=self._theta,
                                     delta=self._delta, tolerance=self._tolerance,
-                                    compensate_runtime=self._compensate_runtime)
+                                    compensate_runtime=self._compensate_runtime,
+                                    wcde_cache_size=self._wcde_cache_size)
+        if self._incremental_enabled:
+            self._incremental = IncrementalPlanner(
+                self._planner, warm_start=self._warm_start)
 
     def on_job_arrival(self, job) -> None:
         prior = job.spec.prior_runtime
         if prior is None:
             prior = self._default_prior
         self._estimators[job.job_id] = self._estimator_factory(prior)
+        self._dirty.add(job.job_id)
+
+    def on_task_launched(self, job, task) -> None:
+        # The pending set shrank, so the remaining-demand estimate changed.
+        self._dirty.add(job.job_id)
 
     def on_task_complete(self, job, task) -> None:
         self._estimators[job.job_id].observe(float(task.duration))
+        self._dirty.add(job.job_id)
         self._completions += 1
 
     def on_task_failed(self, job, task) -> None:
@@ -112,7 +174,15 @@ class RushScheduler(Scheduler):
         observe_failure = getattr(estimator, "observe_failure", None)
         if observe_failure is not None:
             observe_failure(float(task.executed))
+        self._dirty.add(job.job_id)
         self._completions += 1  # any task event invalidates the plan epoch
+
+    def on_job_complete(self, job) -> None:
+        self._estimators.pop(job.job_id, None)
+        self._estimates.pop(job.job_id, None)
+        self._dirty.discard(job.job_id)
+        if self._incremental is not None:
+            self._incremental.forget(job.job_id)
 
     # -- the CA decision rule ----------------------------------------------------
 
@@ -169,6 +239,51 @@ class RushScheduler(Scheduler):
             return []
         return self._plan.impossible_jobs()
 
+    def profile(self) -> Dict[str, float]:
+        """Aggregated planner-cost counters for this scheduler's lifetime.
+
+        Returned keys: ``plans_computed``, ``planner_seconds``, per-stage
+        seconds (``wcde_seconds``/``onion_seconds``/``mapping_seconds``),
+        ``estimates_refreshed``/``estimates_reused`` (dirty tracking),
+        ``presolve_hits``/``presolve_misses`` (stage-1 skips),
+        ``wcde_cache_hits``/``wcde_cache_misses``/``wcde_cache_hit_rate``
+        (content-addressed memo), plus total onion ``peels`` and
+        ``feasibility_checks``.  Rendered by ``rush simulate --profile``
+        and :func:`repro.ui.status.render_profile_text`.
+        """
+        cache = self._planner.wcde_cache if self._planner is not None else None
+        inc = self._incremental
+        return {
+            "plans_computed": self.plans_computed,
+            "planner_seconds": self.planner_seconds,
+            "wcde_seconds": self._stage_seconds["wcde"],
+            "onion_seconds": self._stage_seconds["onion"],
+            "mapping_seconds": self._stage_seconds["mapping"],
+            "estimates_refreshed": self.estimates_refreshed,
+            "estimates_reused": self.estimates_reused,
+            "presolve_hits": inc.presolve_hits if inc is not None else 0,
+            "presolve_misses": inc.presolve_misses if inc is not None else 0,
+            "wcde_cache_hits": cache.hits if cache is not None else 0,
+            "wcde_cache_misses": cache.misses if cache is not None else 0,
+            "wcde_cache_hit_rate": cache.hit_rate if cache is not None else 0.0,
+            "peels": self._peels,
+            "feasibility_checks": self._feasibility_checks,
+        }
+
+    def _job_estimate(self, job) -> DemandEstimate:
+        """The job's current DE report, recomputed only when dirty."""
+        pending = job.pending_count
+        cached = self._estimates.get(job.job_id)
+        if (self._incremental_enabled and cached is not None
+                and job.job_id not in self._dirty and cached[1] == pending):
+            self.estimates_reused += 1
+            return cached[0]
+        estimate = self._estimators[job.job_id].estimate(pending)
+        self._estimates[job.job_id] = (estimate, pending)
+        self._dirty.discard(job.job_id)
+        self.estimates_refreshed += 1
+        return estimate
+
     def _current_plan(self) -> SchedulePlan:
         epoch = (self.sim.now, self._completions, len(self.sim.active_jobs))
         if self._plan is not None and self._plan_epoch == epoch:
@@ -176,11 +291,11 @@ class RushScheduler(Scheduler):
         now = self.sim.now
         planner_jobs = []
         for job in self.sim.active_jobs:
-            estimator = self._estimators[job.job_id]
-            estimate = estimator.estimate(job.pending_count)
+            estimate = self._job_estimate(job)
             # Running tasks hold containers beyond this slot; fold their
             # expected remaining work into the job's demand so the plan
-            # does not treat busy capacity as free.
+            # does not treat busy capacity as free.  This drifts with task
+            # age every slot, so it stays outside the memoized stage.
             runtime = estimate.container_runtime
             extra = sum(max(runtime - age, 0.25 * runtime)
                         for age in job.running_task_ages(now))
@@ -189,9 +304,17 @@ class RushScheduler(Scheduler):
                 estimate=estimate, elapsed=float(job.elapsed(now)),
                 extra_demand=extra))
         assert self._planner is not None
-        plan = self._planner.plan(planner_jobs)
+        if self._incremental is not None:
+            plan = self._incremental.plan(planner_jobs)
+        else:
+            plan = self._planner.plan(planner_jobs)
         self.planner_seconds += plan.solve_seconds
         self.plans_computed += 1
+        self._stage_seconds["wcde"] += plan.stats.wcde_seconds
+        self._stage_seconds["onion"] += plan.stats.onion_seconds
+        self._stage_seconds["mapping"] += plan.stats.mapping_seconds
+        self._feasibility_checks += plan.stats.feasibility_checks
+        self._peels += plan.stats.peels
         self._plan = plan
         self._plan_epoch = epoch
         return plan

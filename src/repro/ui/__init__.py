@@ -2,6 +2,7 @@
 
 from repro.ui.status import (
     render_cluster_text,
+    render_profile_text,
     render_status_html,
     render_status_text,
     status_rows,
@@ -12,4 +13,5 @@ __all__ = [
     "render_status_text",
     "render_status_html",
     "render_cluster_text",
+    "render_profile_text",
 ]

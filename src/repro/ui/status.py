@@ -15,7 +15,7 @@ page with the rows literally colored red.
 from __future__ import annotations
 
 import html
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, List, Mapping, Optional
 
 from repro.analysis.report import format_table
 
@@ -24,7 +24,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.planner import SchedulePlan
 
 __all__ = ["status_rows", "render_status_text", "render_status_html",
-           "render_cluster_text"]
+           "render_cluster_text", "render_profile_text"]
 
 _COLUMNS = ["job", "robust demand", "target T", "projected T",
             "predicted utility", "status"]
@@ -116,6 +116,47 @@ def render_cluster_text(sim: "ClusterSimulator",
     if plan is not None:
         lines.append("")
         lines.append(render_status_text(plan))
+    return "\n".join(lines)
+
+
+def render_profile_text(profile: Mapping[str, float]) -> str:
+    """Planner-cost view over :meth:`RushScheduler.profile` counters.
+
+    Shows where planning time went (WCDE / onion / mapping), how much
+    work the incremental engine skipped (estimate reuse, presolve hits,
+    WCDE-memo hit rate) and the onion effort (peels, feasibility checks).
+    """
+    plans = int(profile.get("plans_computed", 0))
+    if plans == 0:
+        return "planner profile: no plans computed yet"
+    total = profile.get("planner_seconds", 0.0)
+    lines = [
+        f"planner profile: {plans} plan(s) in {total:.3f} s "
+        f"({total / plans * 1e3:.1f} ms/plan)",
+    ]
+    stage_rows = [
+        [stage, profile.get(key, 0.0),
+         100.0 * profile.get(key, 0.0) / total if total else 0.0]
+        for stage, key in (("WCDE", "wcde_seconds"),
+                           ("onion peeling", "onion_seconds"),
+                           ("slot mapping", "mapping_seconds"))]
+    lines.append(format_table(["stage", "seconds", "% of total"],
+                              stage_rows, digits=3))
+    refreshed = int(profile.get("estimates_refreshed", 0))
+    reused = int(profile.get("estimates_reused", 0))
+    presolve_hits = int(profile.get("presolve_hits", 0))
+    presolve_misses = int(profile.get("presolve_misses", 0))
+    lines.append(
+        f"estimates: {refreshed} refreshed, {reused} reused "
+        f"(dirty tracking); presolve: {presolve_hits} hit(s), "
+        f"{presolve_misses} miss(es)")
+    lines.append(
+        f"WCDE memo: {int(profile.get('wcde_cache_hits', 0))} hit(s), "
+        f"{int(profile.get('wcde_cache_misses', 0))} miss(es) "
+        f"(hit rate {profile.get('wcde_cache_hit_rate', 0.0):.1%})")
+    lines.append(
+        f"onion: {int(profile.get('peels', 0))} peel(s), "
+        f"{int(profile.get('feasibility_checks', 0))} feasibility check(s)")
     return "\n".join(lines)
 
 

@@ -65,6 +65,22 @@ class TestSimulate:
         out = capsys.readouterr().out
         assert "completed=5/5" in out
 
+    def test_profile_prints_planner_costs(self, small_trace, capsys):
+        code = run_cli("simulate", "--trace", str(small_trace),
+                       "--capacity", "4", "--policy", "rush", "--profile")
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "planner profile:" in out
+        assert "WCDE memo:" in out
+        assert "onion peeling" in out
+
+    def test_profile_with_non_planning_policy_is_graceful(self, small_trace,
+                                                          capsys):
+        code = run_cli("simulate", "--trace", str(small_trace),
+                       "--capacity", "4", "--policy", "fifo", "--profile")
+        assert code == 0
+        assert "nothing to report" in capsys.readouterr().out
+
     def test_missing_trace_reports_error(self, tmp_path, capsys):
         with pytest.raises(FileNotFoundError):
             run_cli("simulate", "--trace", str(tmp_path / "nope.jsonl"))

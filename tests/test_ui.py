@@ -86,6 +86,27 @@ class TestHtmlRendering:
         assert "&lt;script&gt;" in page
 
 
+class TestProfileRendering:
+    def test_empty_profile(self):
+        from repro import render_profile_text
+        text = render_profile_text({"plans_computed": 0})
+        assert "no plans computed" in text
+
+    def test_renders_all_counter_groups(self):
+        from repro import render_profile_text
+        scheduler = RushScheduler()
+        sim = ClusterSimulator(2, scheduler)
+        sim.submit(JobSpec(job_id="j", arrival=0, task_durations=(3, 3),
+                           utility=ConstantUtility(1.0), prior_runtime=3.0))
+        sim.run()
+        text = render_profile_text(scheduler.profile())
+        assert "planner profile:" in text
+        assert "onion peeling" in text
+        assert "estimates:" in text
+        assert "WCDE memo:" in text
+        assert "feasibility check" in text
+
+
 class TestClusterRendering:
     def test_live_snapshot(self):
         scheduler = RushScheduler()
