@@ -18,8 +18,11 @@ package provides:
   baselines;
 * :mod:`repro.workload` — PUMA-like templates, the Section V-B workload
   generator and a trace format;
-* :mod:`repro.analysis` — boxplot/CDF statistics and text rendering for
-  regenerating the paper's figures.
+* :mod:`repro.analysis` — boxplot/CDF statistics, text rendering for
+  regenerating the paper's figures, and fault-intensity chaos sweeps;
+* :mod:`repro.faults` — composable, seeded fault injectors (crashes,
+  stragglers, kills, corrupted samples, solver starvation) with JSON
+  specs and a monotone intensity knob.
 
 Quickstart::
 
@@ -41,6 +44,7 @@ from repro.errors import (
     InfeasiblePlanError,
     ReproError,
     SimulationError,
+    SolverBudgetError,
 )
 from repro.core import (
     ContainerPlan,
@@ -63,7 +67,17 @@ from repro.core import (
     solve_wcde,
     worst_case_demand,
 )
+from repro.analysis.chaos import ChaosPoint, ChaosReport, chaos_sweep
 from repro.analysis.experiment import Experiment, ExperimentResults
+from repro.core.degradation import DegradationOutcome, DegradationPolicy
+from repro.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultLog,
+    FaultPlan,
+    default_chaos_plan,
+    load_fault_plan,
+)
 from repro.estimation import (
     DemandEstimate,
     DistributionEstimator,
@@ -125,6 +139,7 @@ __all__ = [
     "EstimationError",
     "InfeasiblePlanError",
     "SimulationError",
+    "SolverBudgetError",
     # core
     "solve_rem",
     "solve_wcde",
@@ -145,6 +160,8 @@ __all__ = [
     "SchedulePlan",
     "RushPlanner",
     "IncrementalPlanner",
+    "DegradationPolicy",
+    "DegradationOutcome",
     # estimation
     "Pmf",
     "kl_divergence",
@@ -179,9 +196,19 @@ __all__ = [
     "FairScheduler",
     "CapacityScheduler",
     "SpeculativeScheduler",
+    # faults
+    "FaultInjector",
+    "FaultEvent",
+    "FaultLog",
+    "FaultPlan",
+    "default_chaos_plan",
+    "load_fault_plan",
     # analysis / ui
     "Experiment",
     "ExperimentResults",
+    "ChaosPoint",
+    "ChaosReport",
+    "chaos_sweep",
     "render_status_text",
     "render_status_html",
     "render_cluster_text",

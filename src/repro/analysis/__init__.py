@@ -1,5 +1,6 @@
 """Analysis toolkit: figure-shaped statistics and text rendering."""
 
+from repro.analysis.chaos import ChaosPoint, ChaosReport, chaos_sweep
 from repro.analysis.experiment import Experiment, ExperimentResults
 from repro.analysis.gantt import job_legend, render_gantt
 from repro.analysis.report import (
@@ -18,6 +19,9 @@ from repro.analysis.stats import (
 )
 
 __all__ = [
+    "ChaosPoint",
+    "ChaosReport",
+    "chaos_sweep",
     "BoxplotStats",
     "boxplot_stats",
     "ecdf",

@@ -1,17 +1,21 @@
 """Command-line interface for the RUSH reproduction.
 
-Four subcommands cover the workflow an operator would actually use:
+Five subcommands cover the workflow an operator would actually use:
 
 ``rush generate``
     Draw a Section V-B workload and freeze it to a JSON-lines trace.
 ``rush simulate``
-    Replay a trace under one scheduling policy and print the outcome.
+    Replay a trace under one scheduling policy and print the outcome
+    (optionally under an injected fault plan: ``--faults spec.json``).
 ``rush compare``
     Run several policies over the same workload (the Figure 4/6 loop)
     and print the comparison tables.
 ``rush plan``
     One offline robust planning round over the jobs of a trace, printing
-    the Figure 2 status table (optionally as HTML).
+    the Figure 2 status table (optionally as HTML or JSON).
+``rush chaos``
+    Sweep a fault plan through a ladder of intensities and print the
+    policy's utility/SLO degradation curve.
 
 Installed as the ``rush`` console script; also runnable as
 ``python -m repro.cli``.
@@ -23,11 +27,13 @@ import argparse
 import sys
 from typing import Dict, List, Optional, Sequence
 
+from repro.analysis.chaos import chaos_sweep
 from repro.analysis.experiment import Experiment
 from repro.analysis.report import format_table
 from repro.core.planner import PlannerJob, RushPlanner
 from repro.errors import ReproError
 from repro.estimation.gaussian import GaussianEstimator
+from repro.faults import FaultPlan, default_chaos_plan, load_fault_plan
 from repro.schedulers import (
     CapacityScheduler,
     EdfScheduler,
@@ -38,8 +44,8 @@ from repro.schedulers import (
     SpeculativeScheduler,
 )
 from repro.cluster.simulator import run_simulation
-from repro.ui.status import (render_profile_text, render_status_html,
-                             render_status_text)
+from repro.ui.status import (render_fault_text, render_profile_text,
+                             render_status_html, render_status_text)
 from repro.workload.generator import WorkloadConfig, WorkloadGenerator
 from repro.workload.trace import load_trace, save_trace
 
@@ -84,6 +90,14 @@ def build_parser() -> argparse.ArgumentParser:
                                "run (RUSH policy only)")
     simulate.add_argument("--seed", type=int, default=0,
                           help="failure-injection seed")
+    simulate.add_argument("--faults",
+                          help="JSON fault-plan spec to inject "
+                               "(see repro.faults.plan)")
+    simulate.add_argument("--intensity", type=float, default=None,
+                          help="scale the fault plan's rates by this factor")
+    simulate.add_argument("--max-slots", type=int, default=1_000_000,
+                          help="slot cap; a run hitting it is reported as "
+                               "censored")
 
     compare = sub.add_parser("compare", help="run several policies and compare")
     compare.add_argument("--jobs", type=int, default=25)
@@ -103,6 +117,28 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--theta", type=float, default=0.9)
     plan.add_argument("--delta", type=float, default=0.7)
     plan.add_argument("--html", help="also write the status page to this file")
+    plan.add_argument("--json", dest="json_out",
+                      help="also write the plan as JSON to this file")
+
+    chaos = sub.add_parser(
+        "chaos", help="sweep fault intensities and print degradation curves")
+    chaos.add_argument("--trace", required=True)
+    chaos.add_argument("--capacity", type=int, default=48)
+    chaos.add_argument("--policy", choices=sorted(POLICY_FACTORIES),
+                       default="rush")
+    chaos.add_argument("--speculative", action="store_true",
+                       help="wrap the policy with speculative execution")
+    chaos.add_argument("--faults",
+                       help="JSON fault-plan spec to sweep (default: the "
+                            "built-in all-injector chaos plan)")
+    chaos.add_argument("--intensities", type=float, nargs="+",
+                       default=[0.0, 0.5, 1.0, 2.0],
+                       help="fault-rate multipliers, one sweep point each")
+    chaos.add_argument("--max-slots", type=int, default=20_000,
+                       help="slot cap per sweep point (incomplete jobs are "
+                            "censored at the cap)")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--out", help="write the sweep report JSON here")
 
     return parser
 
@@ -120,11 +156,26 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_fault_plan(args: argparse.Namespace,
+                      default: Optional[FaultPlan] = None
+                      ) -> Optional[FaultPlan]:
+    """The fault plan a CLI run asked for, intensity applied; None = legacy."""
+    plan = load_fault_plan(args.faults) if args.faults else default
+    intensity = getattr(args, "intensity", None)
+    if intensity is not None:
+        if plan is None:
+            plan = FaultPlan.default()
+        plan = plan.scaled(intensity)
+    return plan
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     specs = load_trace(args.trace)
     policy = POLICY_FACTORIES[args.policy]()
     scheduler = SpeculativeScheduler(policy) if args.speculative else policy
-    result = run_simulation(specs, args.capacity, scheduler, seed=args.seed)
+    faults = _build_fault_plan(args)
+    result = run_simulation(specs, args.capacity, scheduler, seed=args.seed,
+                            max_slots=args.max_slots, faults=faults)
     rows = [[r.job_id, r.sensitivity, r.arrival, r.runtime, r.latency,
              r.utility_value, "yes" if r.completed else "NO"]
             for r in result.records]
@@ -137,6 +188,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
           f"task failures={result.task_failures}  "
           f"speculative launches={result.speculative_launches}  "
           f"total utility={result.total_utility():.1f}")
+    if faults is not None or result.timed_out:
+        print("\n" + render_fault_text(result))
     if args.profile:
         profile = getattr(policy, "profile", None)
         if profile is None:
@@ -185,6 +238,31 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         with open(args.html, "w", encoding="utf-8") as handle:
             handle.write(render_status_html(plan))
         print(f"\nwrote HTML status page to {args.html}")
+    if args.json_out:
+        import json
+
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(plan.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote plan JSON to {args.json_out}")
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    specs = load_trace(args.trace)
+
+    def factory():
+        policy = POLICY_FACTORIES[args.policy]()
+        return SpeculativeScheduler(policy) if args.speculative else policy
+
+    plan = _build_fault_plan(args, default=default_chaos_plan(seed=args.seed))
+    report = chaos_sweep(specs, args.capacity, factory, plan,
+                         args.intensities, seed=args.seed,
+                         max_slots=args.max_slots)
+    print(report.summary_table())
+    if args.out:
+        report.save_json(args.out)
+        print(f"\nwrote sweep report to {args.out}")
     return 0
 
 
@@ -193,6 +271,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "compare": _cmd_compare,
     "plan": _cmd_plan,
+    "chaos": _cmd_chaos,
 }
 
 

@@ -23,10 +23,17 @@ class Container:
 
     container_id: int
     task: Optional[Task] = None
+    #: First slot at which a revoked container may accept work again.
+    #: Set by the container-crash fault injector; 0 means never revoked.
+    offline_until: int = 0
 
     @property
     def is_free(self) -> bool:
         return self.task is None
+
+    def is_available(self, now: int) -> bool:
+        """Free *and* not currently revoked by a fault injector."""
+        return self.task is None and now >= self.offline_until
 
     def assign(self, task: Task, now: int) -> None:
         """Launch ``task`` on this container at slot ``now``."""

@@ -188,8 +188,12 @@ class SimJob:
                    if t.state is TaskState.COMPLETED)  # type: ignore[type-var]
 
     def runtime_samples(self) -> List[float]:
-        """Durations of completed tasks, in completion order."""
-        return [float(t.duration) for t in self.tasks
+        """Observed runtimes of completed tasks, in completion order.
+
+        These are the samples schedulers may legitimately see; a fault
+        injector may have corrupted them away from the ground truth.
+        """
+        return [t.runtime_sample for t in self.tasks
                 if t.state is TaskState.COMPLETED]
 
     def running_task_ages(self, now: int) -> List[int]:

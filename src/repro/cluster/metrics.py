@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.cluster.job import JobSpec
+from repro.faults.base import FaultEvent
 
 __all__ = ["JobRecord", "SimulationResult", "lexicographic_compare"]
 
@@ -63,7 +64,14 @@ class JobRecord:
 
 @dataclass
 class SimulationResult:
-    """Everything a benchmark needs from one simulation run."""
+    """Everything a benchmark needs from one simulation run.
+
+    ``timed_out`` marks a run truncated by its slot budget (its censored
+    records are lower bounds, not outcomes).  ``fault_events`` is the
+    full injected-fault stream of the run, and ``fallbacks`` counts the
+    scheduler's degradation-ladder rungs (e.g. ``{"cold_exact": 2}``) —
+    both empty for a healthy run.
+    """
 
     scheduler_name: str
     capacity: int
@@ -74,6 +82,9 @@ class SimulationResult:
     task_failures: int = 0
     speculative_launches: int = 0
     planner_seconds: float = 0.0
+    timed_out: bool = False
+    fault_events: List[FaultEvent] = field(default_factory=list)
+    fallbacks: Dict[str, int] = field(default_factory=dict)
 
     # -- selection helpers -------------------------------------------------
 
@@ -120,6 +131,17 @@ class SimulationResult:
         denom = self.capacity * max(self.slots_simulated, 1)
         return self.busy_container_slots / denom
 
+    def fault_count(self, kind: Optional[str] = None) -> int:
+        """Injected-fault events, optionally restricted to one kind."""
+        if kind is None:
+            return len(self.fault_events)
+        return sum(1 for e in self.fault_events if e.kind == kind)
+
+    @property
+    def fallback_count(self) -> int:
+        """Total degradation-ladder fallbacks the scheduler recorded."""
+        return sum(self.fallbacks.values())
+
     def total_utility(self) -> float:
         return sum(r.utility_value for r in self.records)
 
@@ -138,6 +160,9 @@ class SimulationResult:
             "task_failures": self.task_failures,
             "speculative_launches": self.speculative_launches,
             "planner_seconds": self.planner_seconds,
+            "timed_out": self.timed_out,
+            "fault_events": [e.to_dict() for e in self.fault_events],
+            "fallbacks": dict(self.fallbacks),
             "records": [dataclasses.asdict(r) for r in self.records],
         }
 

@@ -22,12 +22,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
-from repro.errors import SimulationError
+from repro.errors import SimulationError, SimulationTimeoutError
 from repro.cluster.container import Container
 from repro.cluster.job import JobSpec, SimJob
 from repro.cluster.metrics import JobRecord, SimulationResult
+from repro.faults.plan import FaultPlan
 from repro.schedulers.base import Scheduler
 
 __all__ = ["ClusterSimulator", "run_simulation"]
@@ -39,10 +38,18 @@ class ClusterSimulator:
     The simulator exposes the read API schedulers need (``now``,
     ``active_jobs``, per-job state) and owns every state transition, so a
     scheduler cannot corrupt the cluster even if buggy.
+
+    Fault injection is pluggable: pass a
+    :class:`~repro.faults.plan.FaultPlan` as ``faults`` to drive any
+    combination of injectors; by default the plan contains only the
+    legacy per-spec task-failure injector.  A plan without its own seed
+    inherits ``seed``, so one ``--seed`` reproduces a faulty run
+    end-to-end.  All injections (and any scheduler degradation
+    fallbacks) land in :attr:`fault_log`.
     """
 
     def __init__(self, capacity: int, scheduler: Scheduler,
-                 seed: int = 0) -> None:
+                 seed: int = 0, faults: Optional[FaultPlan] = None) -> None:
         if capacity <= 0:
             raise SimulationError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
@@ -53,7 +60,10 @@ class ClusterSimulator:
         self._pending_arrivals: List[SimJob] = []
         self._active: List[SimJob] = []
         self._completed: List[SimJob] = []
-        self._rng = np.random.default_rng(seed)  # failure injection only
+        self.faults = faults if faults is not None else FaultPlan.default()
+        self.faults.bind(self, fallback_seed=seed)
+        self.fault_log = self.faults.log
+        self.timed_out = False
         self.busy_container_slots = 0
         self.scheduling_decisions = 0
         self.task_failures = 0
@@ -72,7 +82,8 @@ class ClusterSimulator:
 
     @property
     def free_container_count(self) -> int:
-        return sum(1 for c in self.containers if c.is_free)
+        """Containers that could accept work right now (free, not revoked)."""
+        return sum(1 for c in self.containers if c.is_available(self.now))
 
     # -- setup ---------------------------------------------------------------
 
@@ -94,14 +105,29 @@ class ClusterSimulator:
     def step(self) -> None:
         """Simulate one slot."""
         self._admit_arrivals()
+        self.faults.on_slot()
         self._fire_scheduling_events()
         self._advance_tasks()
         self.now += 1
 
-    def run(self, max_slots: int = 1_000_000) -> SimulationResult:
-        """Run until every submitted job completes or ``max_slots`` elapse."""
+    def run(self, max_slots: int = 1_000_000, *,
+            raise_on_timeout: bool = False) -> SimulationResult:
+        """Run until every submitted job completes or ``max_slots`` elapse.
+
+        A run that exhausts ``max_slots`` with jobs still pending or
+        active is *truncated*, never silently complete: the returned
+        result carries ``timed_out=True`` (and censored records for the
+        unfinished jobs), or — with ``raise_on_timeout=True`` — a
+        :class:`~repro.errors.SimulationTimeoutError` is raised instead.
+        """
         while (self._pending_arrivals or self._active) and self.now < max_slots:
             self.step()
+        self.timed_out = bool(self._pending_arrivals or self._active)
+        if self.timed_out and raise_on_timeout:
+            unfinished = len(self._pending_arrivals) + len(self._active)
+            raise SimulationTimeoutError(
+                f"simulation hit max_slots={max_slots} with {unfinished} "
+                f"job(s) unfinished")
         return self._result()
 
     # -- internals -------------------------------------------------------------
@@ -113,7 +139,7 @@ class ClusterSimulator:
             self.scheduler.on_job_arrival(job)
 
     def _fire_scheduling_events(self) -> None:
-        free = [c for c in self.containers if c.is_free]
+        free = [c for c in self.containers if c.is_available(self.now)]
         while free and any(j.pending_count > 0 for j in self._active):
             job_id = self.scheduler.select_job()
             self.scheduling_decisions += 1
@@ -127,7 +153,7 @@ class ClusterSimulator:
             if task is None:
                 raise SimulationError(
                     f"scheduler selected job {job_id!r} with no pending tasks")
-            self._maybe_inject_failure(job, task)
+            self.faults.on_launch(job, task)
             container = free.pop()
             container.assign(task, self.now)
             job.note_launched()
@@ -150,12 +176,6 @@ class ClusterSimulator:
             self.speculative_launches += 1
             self.scheduler.on_task_launched(job, duplicate)
 
-    def _maybe_inject_failure(self, job: SimJob, task) -> None:
-        """Arm a failure point on the task per the job's failure model."""
-        p = job.spec.failure_prob
-        if p > 0.0 and self._rng.random() < p:
-            task.fail_after = int(self._rng.integers(1, task.duration + 1))
-
     def _advance_tasks(self) -> None:
         from repro.cluster.task import TaskState
 
@@ -173,6 +193,7 @@ class ClusterSimulator:
                 continue
             if not job.note_completed(finished):
                 continue  # a sibling already completed this logical task
+            self.faults.on_complete(job, finished)
             self._cancel_siblings(job, finished)
             self.scheduler.on_task_complete(job, finished)
             if job.is_complete:
@@ -197,6 +218,7 @@ class ClusterSimulator:
             for job in self._jobs.values()
         ]
         records.sort(key=lambda r: (r.arrival, r.job_id))
+        fallbacks = dict(getattr(self.scheduler, "degradation_counts", {}) or {})
         return SimulationResult(
             scheduler_name=self.scheduler.name,
             capacity=self.capacity,
@@ -206,15 +228,25 @@ class ClusterSimulator:
             scheduling_decisions=self.scheduling_decisions,
             task_failures=self.task_failures,
             speculative_launches=self.speculative_launches,
-            planner_seconds=getattr(self.scheduler, "planner_seconds", 0.0))
+            planner_seconds=getattr(self.scheduler, "planner_seconds", 0.0),
+            timed_out=self.timed_out,
+            fault_events=self.fault_log.events,
+            fallbacks=fallbacks)
 
 
 def run_simulation(specs: Sequence[JobSpec], capacity: int,
                    scheduler: Scheduler,
                    max_slots: int = 1_000_000,
-                   seed: int = 0) -> SimulationResult:
-    """Convenience wrapper: submit ``specs`` and run to completion."""
-    sim = ClusterSimulator(capacity, scheduler, seed=seed)
+                   seed: int = 0,
+                   faults: Optional[FaultPlan] = None, *,
+                   raise_on_timeout: bool = False) -> SimulationResult:
+    """Convenience wrapper: submit ``specs`` and run to completion.
+
+    ``seed`` seeds the fault streams; a ``faults`` plan without its own
+    seed inherits it, so two calls with identical arguments produce
+    identical :class:`SimulationResult`\\ s, injected faults included.
+    """
+    sim = ClusterSimulator(capacity, scheduler, seed=seed, faults=faults)
     for spec in specs:
         sim.submit(spec)
-    return sim.run(max_slots=max_slots)
+    return sim.run(max_slots=max_slots, raise_on_timeout=raise_on_timeout)

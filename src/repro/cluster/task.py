@@ -55,6 +55,15 @@ class Task:
     #: and speculative duplicates of one task share a logical id; derived
     #: from the task id when not given.
     logical_id: str = ""
+    #: Runtime the *schedulers* observe for this attempt, when it differs
+    #: from the ground truth — set by the sample-corruption fault injector.
+    #: None means the honest duration is reported.
+    observed_duration: Optional[float] = None
+    #: The duration this attempt was constructed with, before any fault
+    #: injector stretched ``duration`` mid-flight.  Retries restart from
+    #: here — otherwise straggler/burst inflation would compound across
+    #: crash-retry cycles without bound.
+    base_duration: int = 0
 
     def __post_init__(self) -> None:
         if self.duration < 1:
@@ -67,6 +76,7 @@ class Task:
         if not self.logical_id:
             self.logical_id = self.task_id.split("#", 1)[0].split("~", 1)[0]
         self.remaining = self.duration
+        self.base_duration = self.duration
 
     def launch(self, now: int) -> None:
         """Transition to RUNNING at slot ``now``."""
@@ -103,6 +113,17 @@ class Task:
         """Slots of work this attempt has consumed so far."""
         return self.duration - self.remaining
 
+    @property
+    def runtime_sample(self) -> float:
+        """The runtime sample visible to schedulers and DE units.
+
+        Ground truth unless a fault injector corrupted the observation;
+        metrics always use the true ``duration``.
+        """
+        if self.observed_duration is not None:
+            return float(self.observed_duration)
+        return float(self.duration)
+
     def cancel(self) -> None:
         """Abort a pending or running attempt (a sibling finished first)."""
         if self.state not in (TaskState.PENDING, TaskState.RUNNING):
@@ -117,5 +138,5 @@ class Task:
                 f"task {self.task_id!r} retried while {self.state}")
         base = self.task_id.rsplit("#", 1)[0]
         return Task(task_id=f"{base}#{self.attempt + 1}", job_id=self.job_id,
-                    duration=self.duration, attempt=self.attempt + 1,
+                    duration=self.base_duration, attempt=self.attempt + 1,
                     logical_id=self.logical_id)

@@ -35,12 +35,14 @@ budget the paper reports for its Java implementation (Figure 5).
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import ConfigurationError, InfeasiblePlanError
+from repro.errors import (ConfigurationError, InfeasiblePlanError,
+                          SolverBudgetError)
 from repro.utility.base import UtilityFunction
 from repro.utility.constant import ConstantUtility
 from repro.utility.linear import LinearUtility
@@ -312,7 +314,8 @@ def solve_onion(jobs: Sequence[OnionJob], capacity: int, *,
                 tolerance: float = 0.01,
                 horizon: Optional[int] = None,
                 lookahead: int = 4,
-                warm_start: Optional[Sequence[LayerHint]] = None) -> OnionResult:
+                warm_start: Optional[Sequence[LayerHint]] = None,
+                budget_deadline: Optional[float] = None) -> OnionResult:
     """Lexicographic max-min completion-time assignment (Algorithm 3).
 
     Parameters
@@ -339,12 +342,20 @@ def solve_onion(jobs: Sequence[OnionJob], capacity: int, *,
         lookahead.  Hints never bypass a feasibility check — a stale hint
         degrades to at most two wasted probes — but a *drifted* snapshot
         may peel within-tolerance different levels than a cold solve.
+    budget_deadline:
+        Absolute ``time.perf_counter()`` instant by which the solve must
+        finish.  Checked cooperatively before every staircase evaluation
+        (the solver's unit of work); exceeding it raises
+        :class:`~repro.errors.SolverBudgetError` so a caller with a
+        degradation policy can fall back instead of stalling.
 
     Raises
     ------
     InfeasiblePlanError
         If even the bottom utility layer does not fit the horizon (only
         possible with an explicit, too-short horizon or zero capacity).
+    SolverBudgetError
+        If ``budget_deadline`` passes mid-solve.
     """
     if capacity <= 0:
         raise InfeasiblePlanError(f"cluster capacity must be positive, got {capacity}")
@@ -391,6 +402,10 @@ def solve_onion(jobs: Sequence[OnionJob], capacity: int, *,
         deadline order.
         """
         nonlocal checks
+        if budget_deadline is not None and time.perf_counter() > budget_deadline:
+            raise SolverBudgetError(
+                f"onion solve exceeded its time budget after {checks} "
+                f"feasibility check(s)")
         checks += 1
         d_active = bank.deadlines(level)[active_idx]
         d_all = np.concatenate([d_active, ledger.times,

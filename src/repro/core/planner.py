@@ -41,7 +41,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SolverBudgetError
 from repro.core.mapping import ContainerPlan, MappingJob, map_time_slots
 from repro.core.onion import LayerHint, OnionJob, solve_onion
 from repro.core.wcde import WcdeCache, solve_wcde
@@ -147,6 +147,10 @@ class PlanStats:
     peels: int = 0
     feasibility_checks: int = 0
     warm_start: bool = False
+    #: Degradation-ladder rung that produced this plan: "" for the
+    #: primary solve, else "cold_exact" / "last_good" (set by the
+    #: scheduler's :class:`~repro.core.degradation.DegradationPolicy`).
+    fallback: str = ""
 
 
 @dataclass
@@ -187,6 +191,40 @@ class SchedulePlan:
         does this bookkeeping automatically.
         """
         return dict(self._presolved)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible dump of the plan (schema-stable export).
+
+        Floats are rounded to 6 decimals so the output is reproducible
+        across platforms; ``rush plan --json`` writes exactly this.
+        """
+        def num(x: float) -> Optional[float]:
+            if not math.isfinite(x):
+                return None
+            return round(float(x), 6)
+
+        return {
+            "theta": num(self.theta),
+            "horizon": self.horizon,
+            "layers": self.layers,
+            "feasibility_checks": self.feasibility_checks,
+            "fallback": self.stats.fallback,
+            "jobs": [
+                {
+                    "job_id": job_id,
+                    "robust_demand": num(plan.robust_demand),
+                    "reference_demand": num(plan.reference_demand),
+                    "target_completion": plan.target_completion,
+                    "planned_completion": num(plan.planned_completion),
+                    "predicted_utility": num(plan.predicted_utility),
+                    "achievable": plan.achievable,
+                    "layer": plan.layer,
+                    "wcde_iterations": plan.wcde_iterations,
+                }
+                for job_id, plan in ((jid, self.jobs[jid])
+                                     for jid in self._order)
+            ],
+        }
 
 
 class RushPlanner:
@@ -253,7 +291,8 @@ class RushPlanner:
     def plan(self, jobs: Sequence[PlannerJob],
              horizon: Optional[int] = None, *,
              presolved: Optional[Mapping[str, PresolvedDemand]] = None,
-             warm_start: Optional[Sequence[LayerHint]] = None) -> SchedulePlan:
+             warm_start: Optional[Sequence[LayerHint]] = None,
+             time_budget: Optional[float] = None) -> SchedulePlan:
         """Produce a complete schedule plan for the given job snapshot.
 
         ``presolved`` maps job ids to WCDE answers from an earlier round
@@ -261,8 +300,19 @@ class RushPlanner:
         theta and delta); those jobs skip stage 1.  ``warm_start`` is the
         previous plan's ``onion_hints``; see :func:`repro.core.onion
         .solve_onion` for its exact (probe-only) semantics.
+
+        ``time_budget`` is a wall-clock allowance in seconds for the
+        whole round; exceeding it raises
+        :class:`~repro.errors.SolverBudgetError` from the stage that
+        noticed (checked cooperatively per WCDE job, per onion
+        feasibility probe and before the mapping stage), leaving the
+        planner's caches consistent so a retry or fallback is safe.
         """
         started = time.perf_counter()
+        if time_budget is not None and time_budget <= 0.0:
+            raise ConfigurationError(
+                f"time_budget must be positive, got {time_budget}")
+        deadline = None if time_budget is None else started + time_budget
         ids = [job.job_id for job in jobs]
         if len(set(ids)) != len(ids):
             raise ConfigurationError("job ids must be unique within one plan")
@@ -277,6 +327,10 @@ class RushPlanner:
         presolved_out: Dict[str, PresolvedDemand] = {}
         onion_jobs: List[OnionJob] = []
         for job in jobs:
+            if deadline is not None and time.perf_counter() > deadline:
+                raise SolverBudgetError(
+                    "planning round exceeded its time budget during the "
+                    "WCDE stage")
             pre = presolved.get(job.job_id) if presolved else None
             if pre is not None:
                 eta, ref, n_iter = pre.eta, pre.reference, pre.iterations
@@ -310,11 +364,15 @@ class RushPlanner:
         onion_started = time.perf_counter()
         onion = solve_onion(onion_jobs, self.capacity,
                             tolerance=self.tolerance, horizon=horizon,
-                            warm_start=warm_start)
+                            warm_start=warm_start, budget_deadline=deadline)
         stats.onion_seconds = time.perf_counter() - onion_started
         stats.peels = onion.layers
         stats.feasibility_checks = onion.feasibility_checks
 
+        if deadline is not None and time.perf_counter() > deadline:
+            raise SolverBudgetError(
+                "planning round exceeded its time budget before the "
+                "mapping stage")
         mapping_started = time.perf_counter()
         mapping_jobs = []
         for job in jobs:
@@ -402,7 +460,8 @@ class IncrementalPlanner:
         self._hints = None
 
     def plan(self, jobs: Sequence[PlannerJob],
-             horizon: Optional[int] = None) -> SchedulePlan:
+             horizon: Optional[int] = None, *,
+             time_budget: Optional[float] = None) -> SchedulePlan:
         """One planning round; clean jobs skip the WCDE stage."""
         presolved: Dict[str, PresolvedDemand] = {}
         for job in jobs:
@@ -415,7 +474,8 @@ class IncrementalPlanner:
                 self.presolve_misses += 1
         plan = self.planner.plan(
             jobs, horizon, presolved=presolved,
-            warm_start=self._hints if self.warm_start else None)
+            warm_start=self._hints if self.warm_start else None,
+            time_budget=time_budget)
         fresh = plan.presolved_demands()
         for job in jobs:
             self._memo[job.job_id] = _JobMemo(

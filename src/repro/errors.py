@@ -58,3 +58,23 @@ class SimulationError(ReproError):
     This signals a bug or a misuse of the simulator API (e.g. launching a
     task on an occupied container), never a merely unlucky workload.
     """
+
+
+class SimulationTimeoutError(SimulationError):
+    """A bounded simulation ran out of slots with jobs still active.
+
+    Raised by :meth:`repro.cluster.simulator.ClusterSimulator.run` when
+    ``raise_on_timeout=True``; otherwise the partial result is returned
+    with its ``timed_out`` flag set so callers can never mistake a
+    truncated run for a completed one.
+    """
+
+
+class SolverBudgetError(ReproError):
+    """A planning round exhausted its wall-clock time budget.
+
+    Raised cooperatively from inside the onion-peeling solver when the
+    caller supplied a ``time_budget``.  The degradation ladder in
+    :class:`repro.schedulers.rush.RushScheduler` catches it and falls
+    back to a cheaper planning mode instead of stalling the cluster.
+    """

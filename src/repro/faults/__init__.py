@@ -1,0 +1,39 @@
+"""Pluggable fault injection for the cluster substrate.
+
+See :mod:`repro.faults.base` for the injector protocol,
+:mod:`repro.faults.injectors` for the concrete fault species and
+:mod:`repro.faults.plan` for composition, seeding and JSON specs.
+"""
+
+from repro.faults.base import FaultContext, FaultEvent, FaultInjector, FaultLog
+from repro.faults.injectors import (
+    INJECTOR_REGISTRY,
+    ContainerCrashInjector,
+    DemandBurstInjector,
+    JobKillInjector,
+    SampleCorruptionInjector,
+    SolverBudgetInjector,
+    SpecFailureInjector,
+    StragglerInjector,
+    injector_from_spec,
+)
+from repro.faults.plan import FaultPlan, default_chaos_plan, load_fault_plan
+
+__all__ = [
+    "FaultContext",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultLog",
+    "FaultPlan",
+    "INJECTOR_REGISTRY",
+    "SpecFailureInjector",
+    "ContainerCrashInjector",
+    "StragglerInjector",
+    "DemandBurstInjector",
+    "SampleCorruptionInjector",
+    "JobKillInjector",
+    "SolverBudgetInjector",
+    "injector_from_spec",
+    "load_fault_plan",
+    "default_chaos_plan",
+]

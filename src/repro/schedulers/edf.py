@@ -17,7 +17,19 @@ from typing import Optional
 
 from repro.schedulers.base import Scheduler
 
-__all__ = ["EdfScheduler"]
+__all__ = ["EdfScheduler", "edf_key"]
+
+
+def edf_key(job) -> tuple:
+    """Sort key for earliest-absolute-deadline ordering of sim jobs.
+
+    Shared by :class:`EdfScheduler` and the RUSH degradation ladder's
+    greedy-EDF floor, so both rank identically.
+    """
+    deadline = job.spec.deadline
+    if not math.isfinite(deadline):
+        deadline = math.inf
+    return (deadline, job.arrival, job.job_id)
 
 
 class EdfScheduler(Scheduler):
@@ -29,11 +41,4 @@ class EdfScheduler(Scheduler):
         candidates = self._candidates()
         if not candidates:
             return None
-
-        def key(job):
-            deadline = job.spec.deadline
-            if not math.isfinite(deadline):
-                deadline = math.inf
-            return (deadline, job.arrival, job.job_id)
-
-        return min(candidates, key=key).job_id
+        return min(candidates, key=edf_key).job_id

@@ -48,11 +48,14 @@ from __future__ import annotations
 import math
 from typing import Callable, Dict, Optional, Set, Tuple
 
+from repro.core.degradation import DegradationPolicy
 from repro.core.planner import (IncrementalPlanner, PlannerJob, RushPlanner,
                                 SchedulePlan)
+from repro.errors import SolverBudgetError
 from repro.estimation.base import DemandEstimate, DistributionEstimator
 from repro.estimation.gaussian import GaussianEstimator
 from repro.schedulers.base import Scheduler
+from repro.schedulers.edf import edf_key
 
 __all__ = ["RushScheduler"]
 
@@ -97,6 +100,15 @@ class RushScheduler(Scheduler):
     wcde_cache_size:
         Entry bound of the planner's content-addressed WCDE memo
         (0 disables it).
+    plan_time_budget:
+        Wall-clock seconds allowed per planning round (None = unlimited).
+        Overruns raise inside the solver and are absorbed by the
+        degradation ladder.
+    degradation:
+        The :class:`~repro.core.degradation.DegradationPolicy` walking
+        the fallback ladder (incremental -> cold exact -> last-good plan
+        -> greedy EDF) when a solve fails; a default policy is built
+        from ``plan_time_budget`` when not given.
     """
 
     name = "RUSH"
@@ -109,7 +121,9 @@ class RushScheduler(Scheduler):
                  compensate_runtime: bool = True,
                  incremental: bool = True,
                  warm_start: bool = False,
-                 wcde_cache_size: int = 4096) -> None:
+                 wcde_cache_size: int = 4096,
+                 plan_time_budget: Optional[float] = None,
+                 degradation: Optional[DegradationPolicy] = None) -> None:
         super().__init__()
         self._theta = theta
         self._delta = delta
@@ -133,6 +147,10 @@ class RushScheduler(Scheduler):
         # guard against any pending-set change that slips past the hooks.
         self._dirty: Set[str] = set()
         self._estimates: Dict[str, Tuple[DemandEstimate, int]] = {}
+        self.degradation = (degradation if degradation is not None
+                            else DegradationPolicy(time_budget=plan_time_budget))
+        self._forced_failures = 0
+        self._fault_log = None
         self.planner_seconds = 0.0
         self.plans_computed = 0
         self.estimates_refreshed = 0
@@ -152,6 +170,7 @@ class RushScheduler(Scheduler):
         if self._incremental_enabled:
             self._incremental = IncrementalPlanner(
                 self._planner, warm_start=self._warm_start)
+        self._fault_log = getattr(sim, "fault_log", None)
 
     def on_job_arrival(self, job) -> None:
         prior = job.spec.prior_runtime
@@ -165,7 +184,10 @@ class RushScheduler(Scheduler):
         self._dirty.add(job.job_id)
 
     def on_task_complete(self, job, task) -> None:
-        self._estimators[job.job_id].observe(float(task.duration))
+        # ``runtime_sample`` is the observable runtime — ground truth
+        # unless a fault injector corrupted the observation.
+        self._estimators[job.job_id].observe(
+            float(getattr(task, "runtime_sample", task.duration)))
         self._dirty.add(job.job_id)
         self._completions += 1
 
@@ -191,6 +213,10 @@ class RushScheduler(Scheduler):
         if not candidates:
             return None
         plan = self._current_plan()
+        if plan is None:
+            # The degradation ladder bottomed out: no usable plan this
+            # round.  Stay live with the greedy-EDF floor.
+            return min(candidates, key=edf_key).job_id
         desired = plan.next_slot_allocation()
         best_id: Optional[str] = None
         best_gap = 0.0
@@ -248,12 +274,14 @@ class RushScheduler(Scheduler):
         ``presolve_hits``/``presolve_misses`` (stage-1 skips),
         ``wcde_cache_hits``/``wcde_cache_misses``/``wcde_cache_hit_rate``
         (content-addressed memo), plus total onion ``peels`` and
-        ``feasibility_checks``.  Rendered by ``rush simulate --profile``
-        and :func:`repro.ui.status.render_profile_text`.
+        ``feasibility_checks`` and the degradation-ladder ``fallbacks``
+        total.  Rendered by ``rush simulate --profile`` and
+        :func:`repro.ui.status.render_profile_text`.
         """
         cache = self._planner.wcde_cache if self._planner is not None else None
         inc = self._incremental
         return {
+            "fallbacks": self.degradation.total_fallbacks,
             "plans_computed": self.plans_computed,
             "planner_seconds": self.planner_seconds,
             "wcde_seconds": self._stage_seconds["wcde"],
@@ -284,10 +312,27 @@ class RushScheduler(Scheduler):
         self.estimates_refreshed += 1
         return estimate
 
-    def _current_plan(self) -> SchedulePlan:
+    def inject_solver_fault(self, depth: int = 1) -> None:
+        """Arm a forced failure of the next planning round's solve(s).
+
+        The fault-injection hook the
+        :class:`~repro.faults.injectors.SolverBudgetInjector` drives:
+        ``depth`` rungs of the degradation ladder fail before one may
+        succeed (1 = primary only, 2 = also the cold re-solve, 3 = also
+        discard the last good plan, landing on greedy EDF).
+        """
+        self._forced_failures = max(self._forced_failures, int(depth))
+        self._plan_epoch = None  # the armed fault must hit a fresh solve
+
+    @property
+    def degradation_counts(self) -> Dict[str, int]:
+        """Fallback-rung usage counts (exported on SimulationResult)."""
+        return dict(self.degradation.counts)
+
+    def _current_plan(self) -> Optional[SchedulePlan]:
         epoch = (self.sim.now, self._completions, len(self.sim.active_jobs))
-        if self._plan is not None and self._plan_epoch == epoch:
-            return self._plan
+        if self._plan_epoch == epoch:
+            return self._plan  # may be None: greedy-EDF mode for this epoch
         now = self.sim.now
         planner_jobs = []
         for job in self.sim.active_jobs:
@@ -304,17 +349,42 @@ class RushScheduler(Scheduler):
                 estimate=estimate, elapsed=float(job.elapsed(now)),
                 extra_demand=extra))
         assert self._planner is not None
-        if self._incremental is not None:
-            plan = self._incremental.plan(planner_jobs)
-        else:
-            plan = self._planner.plan(planner_jobs)
-        self.planner_seconds += plan.solve_seconds
-        self.plans_computed += 1
-        self._stage_seconds["wcde"] += plan.stats.wcde_seconds
-        self._stage_seconds["onion"] += plan.stats.onion_seconds
-        self._stage_seconds["mapping"] += plan.stats.mapping_seconds
-        self._feasibility_checks += plan.stats.feasibility_checks
-        self._peels += plan.stats.peels
+        forced = self._forced_failures
+        self._forced_failures = 0
+
+        def primary() -> SchedulePlan:
+            if forced >= 1:
+                raise SolverBudgetError("injected solver fault (primary)")
+            budget = self.degradation.time_budget
+            if self._incremental is not None:
+                return self._incremental.plan(planner_jobs,
+                                              time_budget=budget)
+            return self._planner.plan(planner_jobs, time_budget=budget)
+
+        def cold_exact() -> SchedulePlan:
+            if forced >= 2:
+                raise SolverBudgetError("injected solver fault (cold)")
+            if self._incremental is not None:
+                self._incremental.reset()
+            return self._planner.plan(planner_jobs,
+                                      time_budget=self.degradation.cold_time_budget)
+
+        last_good = None if forced >= 3 else self._plan
+        outcome = self.degradation.execute(
+            [("primary", primary), ("cold_exact", cold_exact)], last_good)
+        if outcome.degraded and self._fault_log is not None:
+            self._fault_log.record(
+                now, f"degradation:{outcome.rung}", "planner",
+                errors=list(outcome.errors))
+        plan = outcome.plan
+        if plan is not None and outcome.rung != "last_good":
+            self.planner_seconds += plan.solve_seconds
+            self.plans_computed += 1
+            self._stage_seconds["wcde"] += plan.stats.wcde_seconds
+            self._stage_seconds["onion"] += plan.stats.onion_seconds
+            self._stage_seconds["mapping"] += plan.stats.mapping_seconds
+            self._feasibility_checks += plan.stats.feasibility_checks
+            self._peels += plan.stats.peels
         self._plan = plan
         self._plan_epoch = epoch
         return plan

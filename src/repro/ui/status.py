@@ -20,11 +20,13 @@ from typing import TYPE_CHECKING, List, Mapping, Optional
 from repro.analysis.report import format_table
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.metrics import SimulationResult
     from repro.cluster.simulator import ClusterSimulator
     from repro.core.planner import SchedulePlan
 
 __all__ = ["status_rows", "render_status_text", "render_status_html",
-           "render_cluster_text", "render_profile_text"]
+           "render_cluster_text", "render_profile_text",
+           "render_fault_text"]
 
 _COLUMNS = ["job", "robust demand", "target T", "projected T",
             "predicted utility", "status"]
@@ -157,6 +159,38 @@ def render_profile_text(profile: Mapping[str, float]) -> str:
     lines.append(
         f"onion: {int(profile.get('peels', 0))} peel(s), "
         f"{int(profile.get('feasibility_checks', 0))} feasibility check(s)")
+    return "\n".join(lines)
+
+
+def render_fault_text(result: "SimulationResult") -> str:
+    """Injected-fault and degradation accounting for one finished run.
+
+    Summarizes the run's :class:`~repro.faults.base.FaultLog` stream by
+    kind and the scheduler's degradation-ladder fallbacks — the chaos
+    run's observability story in two small tables.
+    """
+    if not result.fault_events and not result.fallbacks:
+        return "faults: none injected, no degradation fallbacks"
+    lines = []
+    counts: dict = {}
+    for event in result.fault_events:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+    if counts:
+        rows = [[kind, counts[kind]] for kind in sorted(counts)]
+        lines.append(f"injected faults ({len(result.fault_events)} events):")
+        lines.append(format_table(["kind", "events"], rows))
+    else:
+        lines.append("injected faults: none")
+    if result.fallbacks:
+        rows = [[rung, result.fallbacks[rung]]
+                for rung in sorted(result.fallbacks)]
+        lines.append(f"degradation fallbacks ({result.fallback_count}):")
+        lines.append(format_table(["rung", "count"], rows))
+    else:
+        lines.append("degradation fallbacks: none")
+    if result.timed_out:
+        lines.append(f"run censored at {result.slots_simulated} slots "
+                     "(incomplete jobs scored at their capped runtime)")
     return "\n".join(lines)
 
 

@@ -30,7 +30,9 @@ def spec_to_dict(spec: JobSpec) -> dict:
         "arrival": spec.arrival,
         "task_durations": list(spec.task_durations),
         "utility": utility_to_config(spec.utility),
-        "priority": spec.priority,
+        # canonical float so load→save round-trips byte-identically even
+        # when the producer handed us an integral priority
+        "priority": float(spec.priority),
         "budget": spec.budget if math.isfinite(spec.budget) else None,
         "benchmark_runtime": (spec.benchmark_runtime
                               if not math.isnan(spec.benchmark_runtime) else None),

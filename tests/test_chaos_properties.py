@@ -1,0 +1,203 @@
+"""Hypothesis-driven chaos properties: invariants under injected faults.
+
+The fault subsystem may crash containers, stretch tasks, kill jobs,
+corrupt samples and starve the solver — but it must never be able to
+break the cluster's structural invariants:
+
+* capacity conservation — never more busy containers than exist, and a
+  revoked container never runs work while offline;
+* no lost or duplicated tasks — every logical task of every completed
+  job completes exactly once, regardless of crash/kill/retry churn;
+* monotone degradation — under the plans' monotone coupling, raising the
+  fault intensity never *improves* a straggler-afflicted job's runtime;
+* incremental/cold equivalence — the warm-started incremental planner
+  stays bit-identical to cold re-solves under fault churn;
+* graceful degradation everywhere — no fault intensity can surface an
+  unhandled solver exception; every failed solve lands on a recorded
+  ladder rung.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterSimulator, JobSpec, run_simulation
+from repro.cluster.task import TaskState
+from repro.faults import (
+    ContainerCrashInjector,
+    FaultPlan,
+    JobKillInjector,
+    SpecFailureInjector,
+    StragglerInjector,
+    default_chaos_plan,
+)
+from repro.schedulers import FifoScheduler, RushScheduler
+from repro.utility import LinearUtility
+
+# ---------------------------------------------------------------------------
+# strategies
+
+
+def spec(job_id, durations, arrival=0, failure_prob=0.0, budget=100.0):
+    return JobSpec(job_id=job_id, arrival=arrival,
+                   task_durations=tuple(durations),
+                   utility=LinearUtility(budget, 1.0),
+                   budget=budget, failure_prob=failure_prob)
+
+
+workloads = st.lists(
+    st.tuples(st.lists(st.integers(1, 6), min_size=1, max_size=3),
+              st.integers(0, 8),        # arrival
+              st.floats(0.0, 0.6)),     # failure_prob
+    min_size=1, max_size=4)
+
+chaos_plans = st.builds(
+    lambda seed, intensity: default_chaos_plan(seed=seed,
+                                               intensity=intensity),
+    seed=st.integers(0, 2**16), intensity=st.floats(0.0, 3.0))
+
+
+def make_specs(workload):
+    return [spec(f"j{k}", durations, arrival, failure_prob)
+            for k, (durations, arrival, failure_prob)
+            in enumerate(workload)]
+
+
+# ---------------------------------------------------------------------------
+# capacity conservation
+
+
+class TestCapacityConservation:
+    @settings(max_examples=15, deadline=None)
+    @given(workload=workloads, seed=st.integers(0, 2**16),
+           intensity=st.floats(0.0, 4.0))
+    def test_faults_never_oversubscribe_containers(self, workload, seed,
+                                                   intensity):
+        plan = FaultPlan([ContainerCrashInjector(rate=0.2, revoke_slots=3),
+                          StragglerInjector(rate=0.2),
+                          JobKillInjector(rate=0.1),
+                          SpecFailureInjector()],
+                         seed=seed, intensity=intensity)
+        sim = ClusterSimulator(2, FifoScheduler(), faults=plan)
+        for s in make_specs(workload):
+            sim.submit(s)
+        for _ in range(300):
+            if not (sim._pending_arrivals or sim._active):
+                break
+            sim.step()
+            busy = sum(1 for c in sim.containers if c.task is not None)
+            assert busy <= sim.capacity
+            running = sum(j.running_count for j in sim.active_jobs)
+            assert running == busy
+            for c in sim.containers:
+                # a crash clears its task the same slot, so a container
+                # still inside its revocation window must be empty — the
+                # scheduler can never place work on revoked capacity
+                if c.offline_until > sim.now:
+                    assert c.task is None
+
+
+# ---------------------------------------------------------------------------
+# no lost or duplicated tasks
+
+
+class TestNoLostOrDuplicatedTasks:
+    @settings(max_examples=15, deadline=None)
+    @given(workload=workloads, plan=chaos_plans)
+    def test_every_logical_task_completes_exactly_once(self, workload, plan):
+        specs = make_specs(workload)
+        sim = ClusterSimulator(2, FifoScheduler(), faults=plan)
+        for s in specs:
+            sim.submit(s)
+        result = sim.run(max_slots=4000)
+        for s in specs:
+            job = sim.job(s.job_id)
+            completed = [t for t in job.tasks
+                         if t.state is TaskState.COMPLETED]
+            by_logical = {}
+            for t in completed:
+                by_logical[t.logical_id] = by_logical.get(t.logical_id, 0) + 1
+            # never a duplicated completion, even with kill/crash churn
+            assert all(n == 1 for n in by_logical.values())
+            if not result.timed_out:
+                # and never a lost one: all logical tasks accounted for
+                assert len(by_logical) == len(s.task_durations)
+                assert job.is_complete
+
+
+# ---------------------------------------------------------------------------
+# monotone degradation under coupled intensities
+
+
+class TestMonotoneDegradation:
+    @settings(max_examples=20, deadline=None)
+    @given(duration=st.integers(4, 40), seed=st.integers(0, 2**16),
+           rate=st.floats(0.05, 0.5),
+           low=st.floats(0.1, 2.0), bump=st.floats(0.1, 2.0))
+    def test_straggler_runtime_nondecreasing_in_intensity(
+            self, duration, seed, rate, low, bump):
+        # Single job, single container, straggler only: the decision
+        # draws align across intensities (one per running slot), so the
+        # higher intensity strikes no later — runtime never shrinks.
+        def runtime(intensity):
+            plan = FaultPlan([StragglerInjector(rate=rate, slowdown=2.0)],
+                             seed=seed, intensity=intensity)
+            result = run_simulation([spec("j", (duration,))], 1,
+                                    FifoScheduler(), faults=plan,
+                                    max_slots=4000)
+            assert not result.timed_out
+            return result.records[0].runtime
+
+        assert runtime(low) <= runtime(low + bump)
+
+
+# ---------------------------------------------------------------------------
+# incremental vs cold equivalence under fault churn
+
+
+def _comparable(result):
+    d = result.to_dict()
+    d.pop("planner_seconds", None)  # wall-clock
+    return d
+
+
+class TestIncrementalColdEquivalence:
+    @settings(max_examples=8, deadline=None)
+    @given(workload=workloads, seed=st.integers(0, 2**16),
+           intensity=st.floats(0.0, 2.0))
+    def test_bit_identical_under_fault_churn(self, workload, seed,
+                                             intensity):
+        specs = make_specs(workload)
+
+        def once(incremental):
+            return run_simulation(
+                specs, 2, RushScheduler(incremental=incremental),
+                faults=default_chaos_plan(seed=seed, intensity=intensity),
+                max_slots=2000)
+
+        assert _comparable(once(True)) == _comparable(once(False))
+
+
+# ---------------------------------------------------------------------------
+# graceful degradation: no unhandled solver exceptions, ever
+
+
+class TestNoUnhandledSolverFailures:
+    @settings(max_examples=10, deadline=None)
+    @given(workload=workloads, seed=st.integers(0, 2**16),
+           intensity=st.floats(0.0, 6.0),
+           budget=st.sampled_from([None, 1e-12, 1e-3, 10.0]))
+    def test_every_intensity_runs_to_result(self, workload, seed,
+                                            intensity, budget):
+        scheduler = RushScheduler(plan_time_budget=budget)
+        result = run_simulation(
+            make_specs(workload), 2, scheduler,
+            faults=default_chaos_plan(seed=seed, intensity=intensity),
+            max_slots=1500)
+        # the run produced a result (no exception escaped the ladder) and
+        # every failed solve is accounted for on a recorded rung
+        assert result.fallback_count == scheduler.degradation.total_fallbacks
+        degradations = sum(1 for e in result.fault_events
+                           if e.kind.startswith("degradation:"))
+        assert degradations == result.fallback_count

@@ -1,0 +1,265 @@
+"""Tests for the planner degradation ladder and solver time budgets."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.cluster import ClusterSimulator, JobSpec, run_simulation
+from repro.core.degradation import LADDER, DegradationPolicy
+from repro.core.onion import OnionJob, solve_onion
+from repro.core.planner import PlannerJob, RushPlanner
+from repro.errors import (ConfigurationError, InfeasiblePlanError,
+                          SolverBudgetError)
+from repro.estimation.gaussian import GaussianEstimator
+from repro.faults import FaultPlan, SolverBudgetInjector
+from repro.schedulers import EdfScheduler, RushScheduler
+from repro.utility import LinearUtility
+
+
+def spec(job_id="j", durations=(3, 3), arrival=0, budget=100.0):
+    return JobSpec(job_id=job_id, arrival=arrival,
+                   task_durations=tuple(durations),
+                   utility=LinearUtility(budget, 1.0), budget=budget)
+
+
+def planner_jobs(n=2):
+    jobs = []
+    for k in range(n):
+        de = GaussianEstimator(prior_mean=5.0, prior_std=1.0)
+        jobs.append(PlannerJob(f"j{k}", LinearUtility(50.0, 1.0),
+                               de.estimate(pending_tasks=3)))
+    return jobs
+
+
+class TestDegradationPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DegradationPolicy(time_budget=0.0)
+        with pytest.raises(ConfigurationError):
+            DegradationPolicy(time_budget=-1.0)
+        with pytest.raises(ConfigurationError):
+            DegradationPolicy(cold_budget_factor=0.5)
+
+    def test_cold_budget_scales(self):
+        policy = DegradationPolicy(time_budget=2.0, cold_budget_factor=3.0)
+        assert policy.cold_time_budget == 6.0
+        assert DegradationPolicy().cold_time_budget is None
+
+    def test_ladder_order(self):
+        assert LADDER == ("primary", "cold_exact", "last_good", "greedy_edf")
+
+    def test_primary_success_counts_nothing(self):
+        policy = DegradationPolicy()
+        planner = RushPlanner(capacity=4)
+        plan = planner.plan(planner_jobs())
+        outcome = policy.execute([("primary", lambda: plan)], None)
+        assert outcome.rung == "primary"
+        assert not outcome.degraded
+        assert outcome.plan is plan
+        assert policy.counts == {}
+        assert plan.stats.fallback == ""
+
+    def test_fallback_to_second_attempt(self):
+        policy = DegradationPolicy()
+        planner = RushPlanner(capacity=4)
+        plan = planner.plan(planner_jobs())
+
+        def boom():
+            raise SolverBudgetError("nope")
+
+        outcome = policy.execute(
+            [("primary", boom), ("cold_exact", lambda: plan)], None)
+        assert outcome.rung == "cold_exact"
+        assert outcome.degraded
+        assert outcome.errors == ["primary: nope"]
+        assert policy.counts == {"cold_exact": 1}
+        assert plan.stats.fallback == "cold_exact"
+
+    def test_last_good_reuse(self):
+        policy = DegradationPolicy()
+        planner = RushPlanner(capacity=4)
+        stale = planner.plan(planner_jobs())
+
+        def boom():
+            raise InfeasiblePlanError("broken")
+
+        outcome = policy.execute(
+            [("primary", boom), ("cold_exact", boom)], stale)
+        assert outcome.rung == "last_good"
+        assert outcome.plan is stale
+        assert stale.stats.fallback == "last_good"
+        assert policy.counts == {"last_good": 1}
+
+    def test_bottom_of_ladder(self):
+        policy = DegradationPolicy()
+
+        def boom():
+            raise SolverBudgetError("starved")
+
+        outcome = policy.execute(
+            [("primary", boom), ("cold_exact", boom)], None)
+        assert outcome.rung == "greedy_edf"
+        assert outcome.plan is None
+        assert len(outcome.errors) == 2
+        assert policy.total_fallbacks == 1
+
+    def test_non_repro_errors_propagate(self):
+        policy = DegradationPolicy()
+
+        def bug():
+            raise ValueError("genuine bug")
+
+        with pytest.raises(ValueError):
+            policy.execute([("primary", bug)], None)
+
+
+class TestSolverTimeBudget:
+    def test_onion_budget_exceeded_raises(self):
+        jobs = [OnionJob(f"j{k}", 10.0, LinearUtility(40.0, 1.0))
+                for k in range(4)]
+        with pytest.raises(SolverBudgetError):
+            solve_onion(jobs, 4, budget_deadline=time.perf_counter() - 1.0)
+
+    def test_onion_generous_budget_is_clean(self):
+        jobs = [OnionJob(f"j{k}", 10.0, LinearUtility(40.0, 1.0))
+                for k in range(4)]
+        result = solve_onion(jobs, 4,
+                             budget_deadline=time.perf_counter() + 60.0)
+        assert len(result.targets) == 4
+
+    def test_planner_time_budget_validation(self):
+        planner = RushPlanner(capacity=4)
+        with pytest.raises(ConfigurationError):
+            planner.plan(planner_jobs(), time_budget=0.0)
+
+    def test_planner_tiny_budget_raises(self):
+        planner = RushPlanner(capacity=4)
+        with pytest.raises(SolverBudgetError):
+            planner.plan(planner_jobs(6), time_budget=1e-12)
+
+    def test_planner_generous_budget_matches_unbudgeted(self):
+        planner = RushPlanner(capacity=4)
+        budgeted = planner.plan(planner_jobs(), time_budget=60.0)
+        free = RushPlanner(capacity=4).plan(planner_jobs())
+        assert budgeted.to_dict() == free.to_dict()
+
+
+class TestRushSchedulerDegradation:
+    def _run(self, scheduler, n_jobs=3, **kw):
+        specs = [spec(job_id=f"j{k}", arrival=k) for k in range(n_jobs)]
+        return run_simulation(specs, 2, scheduler, max_slots=2000, **kw)
+
+    def test_clean_run_never_degrades(self):
+        # Regression: a clean, unbudgeted run must not touch the ladder
+        # (an earlier draft shadowed the onion budget deadline with the
+        # peeling loop's slot deadline and degraded every round).
+        scheduler = RushScheduler()
+        result = self._run(scheduler)
+        assert result.fallbacks == {}
+        assert scheduler.degradation.total_fallbacks == 0
+        assert result.completed_count == 3
+
+    def test_forced_depth_one_lands_on_cold_exact(self):
+        scheduler = RushScheduler()
+        sim = ClusterSimulator(2, scheduler, seed=0)
+        sim.submit(spec())
+        scheduler.inject_solver_fault(1)
+        sim.step()
+        assert scheduler.degradation.counts.get("cold_exact", 0) == 1
+        assert scheduler.last_plan is not None
+        assert scheduler.last_plan.stats.fallback == "cold_exact"
+
+    def test_forced_depth_two_reuses_last_good(self):
+        scheduler = RushScheduler()
+        sim = ClusterSimulator(2, scheduler, seed=0)
+        sim.submit(spec(durations=(4, 4, 4)))
+        sim.step()  # healthy round builds a last-good plan
+        good = scheduler.last_plan
+        assert good is not None
+        scheduler.inject_solver_fault(2)
+        for _ in range(20):  # next round fires when a container frees
+            sim.step()
+            if scheduler.degradation.counts:
+                break
+        assert scheduler.degradation.counts.get("last_good", 0) == 1
+        assert scheduler.last_plan is good
+
+    def test_forced_depth_three_hits_greedy_floor(self):
+        scheduler = RushScheduler()
+        sim = ClusterSimulator(2, scheduler, seed=0)
+        sim.submit(spec(durations=(4, 4, 4)))
+        sim.step()
+        scheduler.inject_solver_fault(3)
+        for _ in range(20):  # next round fires when a container frees
+            sim.step()
+            if scheduler.degradation.counts:
+                break
+        assert scheduler.degradation.counts.get("greedy_edf", 0) == 1
+        assert scheduler.last_plan is None
+        # the cluster stayed live: the freed container was still granted
+        assert sim.job("j").running_count > 0
+
+    def test_degradation_recorded_in_fault_log(self):
+        scheduler = RushScheduler()
+        sim = ClusterSimulator(2, scheduler, seed=0)
+        sim.submit(spec())
+        scheduler.inject_solver_fault(1)
+        sim.step()
+        kinds = sim.fault_log.counts_by_kind()
+        assert kinds.get("degradation:cold_exact", 0) == 1
+        event = [e for e in sim.fault_log
+                 if e.kind == "degradation:cold_exact"][0]
+        assert event.target == "planner"
+        assert any("injected solver fault" in err
+                   for err in event.detail["errors"])
+
+    def test_tiny_budget_run_survives_and_records(self):
+        scheduler = RushScheduler(plan_time_budget=1e-12)
+        result = self._run(scheduler)
+        assert result.completed_count == 3
+        assert result.fallback_count > 0
+        assert set(result.fallbacks) <= {"cold_exact", "last_good",
+                                         "greedy_edf"}
+
+    def test_greedy_floor_matches_edf_order(self):
+        # With the ladder forced to the floor, RUSH's grants collapse to
+        # EDF's for that scheduling round.
+        specs = [spec(job_id=f"j{k}", arrival=0, budget=20.0 + k)
+                 for k in range(3)]
+        scheduler = RushScheduler()
+        sim = ClusterSimulator(1, scheduler, seed=0)
+        for s in specs:
+            sim.submit(s)
+        scheduler.inject_solver_fault(3)
+        sim.step()
+        granted = [j.job_id for j in sim.active_jobs if j.running_count > 0]
+        edf = EdfScheduler()
+        sim2 = ClusterSimulator(1, edf, seed=0)
+        for s in specs:
+            sim2.submit(spec(job_id=s.job_id, arrival=0, budget=s.budget))
+        sim2.step()
+        granted2 = [j.job_id for j in sim2.active_jobs
+                    if j.running_count > 0]
+        assert granted == granted2
+
+    def test_solver_budget_injector_exercises_ladder_in_sim(self):
+        scheduler = RushScheduler()
+        specs = [spec(job_id=f"j{k}", arrival=k, durations=(3, 3))
+                 for k in range(3)]
+        result = run_simulation(
+            specs, 2, scheduler, max_slots=2000,
+            faults=FaultPlan([SolverBudgetInjector(rate=0.5, depth=1)],
+                             seed=3))
+        assert result.fault_count("solver_budget") > 0
+        assert result.fallbacks.get("cold_exact", 0) > 0
+        assert result.completed_count == 3
+
+    def test_profile_reports_fallbacks(self):
+        scheduler = RushScheduler()
+        sim = ClusterSimulator(2, scheduler, seed=0)
+        sim.submit(spec())
+        scheduler.inject_solver_fault(1)
+        sim.step()
+        assert scheduler.profile()["fallbacks"] == 1

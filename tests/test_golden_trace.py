@@ -1,0 +1,151 @@
+"""Golden-file tests for the ``rush generate`` / ``rush plan`` formats.
+
+The golden files under ``tests/golden/`` were produced by the CLI itself
+(``rush generate --jobs 6 --seed 42`` and ``rush plan --json`` over that
+trace) and pin the on-disk formats:
+
+* the trace file must round-trip load→save byte-identically, so external
+  tooling can rely on the JSON-lines layout;
+* the plan JSON's *schema* is strict (key sets and types must match the
+  golden file exactly) while numeric *values* are compared tolerantly —
+  they depend on the solver, not on numpy's bit-generator, but small
+  float-formatting drift should not break the format contract.
+
+Regenerate with::
+
+    PYTHONPATH=src python -m repro.cli generate --jobs 6 --seed 42 \
+        --out tests/golden/trace.jsonl
+    PYTHONPATH=src python -m repro.cli plan --trace tests/golden/trace.jsonl \
+        --json tests/golden/plan.json
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.workload.trace import (load_trace, save_trace, spec_from_dict,
+                                  spec_to_dict)
+
+GOLDEN = Path(__file__).parent / "golden"
+TRACE = GOLDEN / "trace.jsonl"
+PLAN = GOLDEN / "plan.json"
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def run_cli(*argv, cwd=None):
+    env_src = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *argv],
+        capture_output=True, text=True, cwd=cwd or REPO_ROOT,
+        env={"PYTHONPATH": env_src, "PATH": "/usr/bin:/bin:/usr/local/bin"},
+        check=False)
+
+
+class TestTraceRoundTrip:
+    def test_golden_trace_round_trips_byte_identically(self, tmp_path):
+        specs = load_trace(TRACE)
+        out = tmp_path / "rewritten.jsonl"
+        save_trace(specs, out)
+        assert out.read_bytes() == TRACE.read_bytes()
+
+    def test_spec_dict_round_trip_is_lossless(self):
+        for spec in load_trace(TRACE):
+            clone = spec_from_dict(spec_to_dict(spec))
+            assert spec_to_dict(clone) == spec_to_dict(spec)
+
+    def test_golden_trace_contents(self):
+        specs = load_trace(TRACE)
+        assert len(specs) == 6
+        assert [s.job_id for s in specs] == [f"job-{k:04d}" for k in range(6)]
+        assert all(s.arrival >= 0 for s in specs)
+        assert all(s.task_durations for s in specs)
+        header = json.loads(TRACE.read_text().splitlines()[0])
+        assert header == {"format": "rush-trace", "version": 1}
+
+    def test_generate_cli_is_deterministic(self, tmp_path):
+        paths = [tmp_path / "a.jsonl", tmp_path / "b.jsonl"]
+        for path in paths:
+            proc = run_cli("generate", "--jobs", "4", "--seed", "7",
+                           "--out", str(path))
+            assert proc.returncode == 0, proc.stderr
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+        # and the output is itself loadable
+        assert len(load_trace(paths[0])) == 4
+
+
+def _schema(value, path="$"):
+    """Map a JSON value to its nested key/type structure."""
+    if isinstance(value, dict):
+        return {key: _schema(item, f"{path}.{key}")
+                for key, item in sorted(value.items())}
+    if isinstance(value, list):
+        return [_schema(item, f"{path}[{k}]")
+                for k, item in enumerate(value)]
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, (int, float)):
+        return "number"
+    if value is None:
+        return "null"
+    return type(value).__name__
+
+
+def _numbers(value, path="$", out=None):
+    if out is None:
+        out = {}
+    if isinstance(value, dict):
+        for key, item in value.items():
+            _numbers(item, f"{path}.{key}", out)
+    elif isinstance(value, list):
+        for k, item in enumerate(value):
+            _numbers(item, f"{path}[{k}]", out)
+    elif isinstance(value, (int, float)) and not isinstance(value, bool):
+        out[path] = float(value)
+    return out
+
+
+class TestPlanGolden:
+    def test_plan_json_schema_matches_golden(self, tmp_path):
+        golden = json.loads(PLAN.read_text())
+        out = tmp_path / "plan.json"
+        proc = run_cli("plan", "--trace", str(TRACE), "--json", str(out))
+        assert proc.returncode == 0, proc.stderr
+        fresh = json.loads(out.read_text())
+        # strict: the key sets and types must match the golden file
+        assert _schema(fresh) == _schema(golden)
+
+    def test_plan_json_values_match_golden_tolerantly(self, tmp_path):
+        golden = json.loads(PLAN.read_text())
+        out = tmp_path / "plan.json"
+        proc = run_cli("plan", "--trace", str(TRACE), "--json", str(out))
+        assert proc.returncode == 0, proc.stderr
+        fresh = _numbers(json.loads(out.read_text()))
+        for path, expected in _numbers(golden).items():
+            assert math.isclose(fresh[path], expected, rel_tol=1e-6,
+                                abs_tol=1e-9), path
+
+    def test_golden_plan_invariants(self):
+        golden = json.loads(PLAN.read_text())
+        assert golden["fallback"] == ""
+        assert golden["feasibility_checks"] > 0
+        jobs = golden["jobs"]
+        assert len(jobs) == 6
+        assert [j["job_id"] for j in jobs] == sorted(j["job_id"]
+                                                     for j in jobs)
+        for job in jobs:
+            assert job["robust_demand"] >= job["reference_demand"]
+            assert 1 <= job["layer"] <= golden["layers"]
+            if job["achievable"]:
+                assert job["target_completion"] <= golden["horizon"]
+
+    def test_plan_cli_output_is_deterministic(self, tmp_path):
+        outs = [tmp_path / "a.json", tmp_path / "b.json"]
+        for out in outs:
+            proc = run_cli("plan", "--trace", str(TRACE), "--json", str(out))
+            assert proc.returncode == 0, proc.stderr
+        assert outs[0].read_bytes() == outs[1].read_bytes()
