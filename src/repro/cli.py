@@ -16,6 +16,10 @@ Five subcommands cover the workflow an operator would actually use:
 ``rush chaos``
     Sweep a fault plan through a ladder of intensities and print the
     policy's utility/SLO degradation curve.
+``rush lint``
+    Run the rushlint static-analysis pass (domain invariants: seeded
+    RNG streams, no wall clocks, float-equality discipline, ...) over a
+    source tree; exit 0 means clean.
 
 Installed as the ``rush`` console script; also runnable as
 ``python -m repro.cli``.
@@ -24,6 +28,7 @@ Installed as the ``rush`` console script; also runnable as
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Dict, List, Optional, Sequence
 
@@ -34,6 +39,7 @@ from repro.core.planner import PlannerJob, RushPlanner
 from repro.errors import ReproError
 from repro.estimation.gaussian import GaussianEstimator
 from repro.faults import FaultPlan, default_chaos_plan, load_fault_plan
+from repro.lint.cli import add_lint_arguments, run_lint_command
 from repro.schedulers import (
     CapacityScheduler,
     EdfScheduler,
@@ -139,6 +145,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "censored at the cap)")
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument("--out", help="write the sweep report JSON here")
+
+    lint = sub.add_parser(
+        "lint", help="run the rushlint domain static-analysis pass")
+    add_lint_arguments(lint)
 
     return parser
 
@@ -272,6 +282,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "plan": _cmd_plan,
     "chaos": _cmd_chaos,
+    "lint": run_lint_command,
 }
 
 
@@ -284,6 +295,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # stdout piped into a pager/head that exited early; the
+        # dup2 keeps the interpreter-shutdown flush from re-raising.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141  # 128 + SIGPIPE, the shell convention
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -37,9 +37,11 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import (Callable, Dict, FrozenSet, List, Optional, Sequence,
+                    Tuple)
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.errors import (ConfigurationError, InfeasiblePlanError,
                           SolverBudgetError)
@@ -129,7 +131,7 @@ class LayerHint:
 
     low: float
     high: float
-    candidate_ids: Optional[frozenset] = None
+    candidate_ids: Optional[FrozenSet[str]] = None
     bottleneck_id: Optional[str] = None
 
 
@@ -191,7 +193,7 @@ class _DeadlineBank:
         self._other = other_idx
         self._other_utils = [jobs[i].utility for i in other_idx]
 
-        def params(idx: Sequence[int], attr: str) -> np.ndarray:
+        def params(idx: Sequence[int], attr: str) -> npt.NDArray[np.float64]:
             return np.array([getattr(jobs[i].utility, attr) for i in idx], dtype=float)
 
         self._lin_b = params(lin_idx, "budget")
@@ -210,9 +212,9 @@ class _DeadlineBank:
         # thousands of times per solve.
         self.max_values = np.array([job.utility.max_value() for job in jobs],
                                    dtype=float)
-        self._level_memo: Dict[float, np.ndarray] = {}
+        self._level_memo: Dict[float, npt.NDArray[np.float64]] = {}
 
-    def raw_deadlines(self, level: float) -> np.ndarray:
+    def raw_deadlines(self, level: float) -> npt.NDArray[np.float64]:
         """``U_i^{-1}(level)`` for every job, before elapsed/compensation."""
         d = np.empty(self._n, dtype=float)
         if self._lin.size:
@@ -239,7 +241,7 @@ class _DeadlineBank:
             d[pos] = util.deadline_for(level)
         return d
 
-    def deadlines(self, level: float) -> np.ndarray:
+    def deadlines(self, level: float) -> npt.NDArray[np.float64]:
         """Integer slot deadlines from now, capped at the horizon.
 
         Entries are ``-inf`` when the level is unreachable for the job.
@@ -275,9 +277,9 @@ class _PeeledLedger:
     def __init__(self) -> None:
         self._times: List[float] = []
         self._demands: List[float] = []
-        self._sorted_times = np.empty(0)
-        self._sorted_demands = np.empty(0)
-        self._cum = np.empty(0)
+        self._sorted_times: npt.NDArray[np.float64] = np.empty(0)
+        self._sorted_demands: npt.NDArray[np.float64] = np.empty(0)
+        self._cum: npt.NDArray[np.float64] = np.empty(0)
 
     def commit(self, completion: float, demand: float) -> None:
         self._times.append(completion)
@@ -288,14 +290,15 @@ class _PeeledLedger:
         self._cum = np.cumsum(self._sorted_demands)
 
     @property
-    def times(self) -> np.ndarray:
+    def times(self) -> npt.NDArray[np.float64]:
         return self._sorted_times
 
     @property
-    def demands(self) -> np.ndarray:
+    def demands(self) -> npt.NDArray[np.float64]:
         return self._sorted_demands
 
-    def committed_by(self, times: np.ndarray) -> np.ndarray:
+    def committed_by(self, times: npt.NDArray[np.float64]
+                     ) -> npt.NDArray[np.float64]:
         """``G(t)`` for an array of query times (vectorized)."""
         if self._sorted_times.size == 0:
             return np.zeros(times.shape)
@@ -386,7 +389,7 @@ def solve_onion(jobs: Sequence[OnionJob], capacity: int, *,
     demands = np.array([job.demand for job in jobs], dtype=float)
     checks = 0
 
-    def staircase(level: float, active_idx: np.ndarray,
+    def staircase(level: float, active_idx: npt.NDArray[np.intp],
                   extra_times: Sequence[float] = (),
                   extra_demands: Sequence[float] = (),
                   ) -> Tuple[bool, List[int]]:
@@ -429,7 +432,7 @@ def solve_onion(jobs: Sequence[OnionJob], capacity: int, *,
             active_positions = np.nonzero(active_sorted)[0][:1]
         return False, [int(active_idx[order[pos]]) for pos in active_positions]
 
-    def feasibility(level: float, active_idx: np.ndarray
+    def feasibility(level: float, active_idx: npt.NDArray[np.intp]
                     ) -> Tuple[bool, Optional[int]]:
         """Condition (12) plus the paper's greedy bottleneck (last in prefix)."""
         ok, prefix = staircase(level, active_idx)
@@ -501,7 +504,7 @@ def solve_onion(jobs: Sequence[OnionJob], capacity: int, *,
             candidates = [active[0]]
         bottleneck = candidates[-1]  # the paper's greedy pick
         seed = low
-        floor_candidates: Optional[frozenset] = None
+        floor_candidates: Optional[FrozenSet[str]] = None
 
         # Sacrifice ambiguity (a refinement beyond the paper's greedy
         # rule): when the layer bottoms out at the utility floor, the
@@ -571,7 +574,7 @@ def _peel_one(job: OnionJob, deadline: float, ledger: _PeeledLedger,
 
 
 def _peel_batch(jobs: Sequence[OnionJob], active: List[int], idx: List[int],
-                deadlines: np.ndarray, ledger: _PeeledLedger,
+                deadlines: npt.NDArray[np.float64], ledger: _PeeledLedger,
                 targets: Dict[str, JobTarget], layer: int, horizon: int) -> None:
     for pos, i in enumerate(idx):
         _peel_one(jobs[i], float(deadlines[pos]), ledger, targets, layer, horizon)
@@ -584,7 +587,8 @@ def _clamp_completion(deadline: float, horizon: int) -> int:
     return int(min(max(deadline, 1.0), horizon))
 
 
-def _lookahead_level(staircase, remaining_idx: np.ndarray,
+def _lookahead_level(staircase: Callable[..., Tuple[bool, List[int]]],
+                     remaining_idx: npt.NDArray[np.intp],
                      extra_times: List[float], extra_demands: List[float],
                      floor: float, ceiling: float,
                      tolerance: float) -> float:

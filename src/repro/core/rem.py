@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.errors import ConfigurationError
 from repro.estimation.pmf import Pmf
@@ -82,12 +83,16 @@ def rem_min_kl_from_cdf(reference_cdf_at_l: float, theta: float) -> float:
         return 0.0
     if phi_l >= 1.0:
         return math.inf
+    # rushlint: disable=RL003 (theta is caller input passed through
+    # unchanged; exact 0 selects the 0*ln(0)=0 convention, and any
+    # tolerance would misclassify tiny positive thetas)
     head = 0.0 if theta == 0.0 else theta * math.log(theta / phi_l)
     tail = (1.0 - theta) * math.log((1.0 - theta) / (1.0 - phi_l))
     return head + tail
 
 
-def rem_min_kl_from_cdf_array(reference_cdf: np.ndarray, theta: float) -> np.ndarray:
+def rem_min_kl_from_cdf_array(reference_cdf: npt.NDArray[np.float64],
+                              theta: float) -> npt.NDArray[np.float64]:
     """Vectorized :func:`rem_min_kl_from_cdf` over an array of CDF values.
 
     Evaluates the binary-KL objective ``g`` at every entry in one numpy
@@ -108,6 +113,8 @@ def rem_min_kl_from_cdf_array(reference_cdf: np.ndarray, theta: float) -> np.nda
     active = binding & ~saturated
     if np.any(active):
         p = phi[active]
+        # rushlint: disable=RL003 (exact-zero sentinel, same convention
+        # as the scalar form above)
         head = 0.0 if theta == 0.0 else theta * np.log(theta / p)
         tail = (1.0 - theta) * np.log((1.0 - theta) / (1.0 - p))
         out[active] = head + tail
@@ -155,6 +162,9 @@ def solve_rem(reference: Pmf, target_bin: int, theta: float) -> RemSolution:
     head *= theta / head_mass
     tail *= (1.0 - theta) / tail_mass
     kl = rem_min_kl_from_cdf(head_mass, theta)
+    # rushlint: disable=RL003 (exact-zero sentinel: only a literal
+    # theta=0 moves *all* mass above L; near-zero thetas keep the
+    # rescaled head)
     if theta == 0.0:
         # All mass moves above L; bins at or below L become exact zeros.
         probs[: cut + 1] = 0.0

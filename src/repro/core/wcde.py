@@ -153,6 +153,9 @@ def solve_wcde(reference: Pmf, theta: float, delta: float, *,
     if theta >= 1.0:
         eta = ceiling
         iterations = 0
+    # rushlint: disable=RL003 (exact-zero sentinel: delta=0 means the
+    # adversary has literally no KL budget; any positive delta, however
+    # small, must take the search path)
     elif delta == 0.0 or anchor >= ceiling:
         eta = anchor
         iterations = 0

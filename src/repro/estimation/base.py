@@ -72,7 +72,7 @@ class DemandEstimate:
         """The theta-quantile of the remaining demand, in slots."""
         return self.pmf.quantile(theta) * self.bin_width
 
-    def fingerprint(self) -> tuple:
+    def fingerprint(self) -> tuple[bytes, float]:
         """Content key of everything a robust-demand solve depends on.
 
         Two estimates with equal fingerprints yield identical WCDE

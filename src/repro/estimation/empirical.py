@@ -67,6 +67,8 @@ class EmpiricalEstimator(DistributionEstimator):
                     "EmpiricalEstimator has no runtime samples and no prior_runtime")
             return Pmf.impulse(int(round(self._prior_runtime)))
         base = Pmf.from_samples(self._samples)
+        # rushlint: disable=RL003 (exact-zero config sentinel: only a
+        # literal 0 skips the mixture; tiny smoothing weights are real)
         if self._smoothing == 0.0:
             return base
         lo, hi = base.support_min(), base.support_max()

@@ -62,6 +62,9 @@ class GaussianEstimator(DistributionEstimator):
         if self.sample_count >= self._min_samples:
             mean = self._sample_mean()
             std = self._sample_std()
+            # rushlint: disable=RL003 (exact-zero sentinel: the sample
+            # std of identical observations is exactly 0.0, the trigger
+            # for the coefficient-of-variation fallback)
             if std == 0.0:
                 std = self._default_cv * mean if self.sample_count < 2 else 0.0
             return mean, std

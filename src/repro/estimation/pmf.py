@@ -16,9 +16,10 @@ from __future__ import annotations
 
 import hashlib
 import math
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence, Union
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.errors import DistributionError
 
@@ -74,7 +75,7 @@ class Pmf:
         cdf = np.cumsum(arr)
         cdf.setflags(write=False)
         self._cdf = cdf
-        self._fingerprint: bytes | None = None
+        self._fingerprint: Optional[bytes] = None
 
     # -- constructors ---------------------------------------------------
 
@@ -150,7 +151,7 @@ class Pmf:
     # -- accessors ------------------------------------------------------
 
     @property
-    def probs(self) -> np.ndarray:
+    def probs(self) -> npt.NDArray[np.float64]:
         """Read-only probability vector, indexed by bin."""
         return self._probs
 
@@ -207,7 +208,7 @@ class Pmf:
         """Standard deviation of the bin index."""
         return math.sqrt(self.var())
 
-    def cdf(self) -> np.ndarray:
+    def cdf(self) -> npt.NDArray[np.float64]:
         """Read-only cumulative distribution, ``cdf()[l] = P(v <= l)``."""
         return self._cdf
 
@@ -227,6 +228,8 @@ class Pmf:
         """
         if not 0.0 <= theta <= 1.0:
             raise DistributionError(f"theta={theta} outside [0, 1]")
+        # rushlint: disable=RL003 (exact-zero sentinel: the 0-quantile
+        # is bin 0 by definition; tolerance would swallow real thetas)
         if theta == 0.0:
             return 0
         # side='left' yields the first index whose CDF is >= theta.
@@ -288,7 +291,8 @@ class Pmf:
         return Pmf((1.0 - weight) * a.probs + weight * b.probs, normalize=True)
 
 
-def kl_divergence(p: Pmf | np.ndarray, q: Pmf | np.ndarray) -> float:
+def kl_divergence(p: Union[Pmf, npt.NDArray[np.float64]],
+                  q: Union[Pmf, npt.NDArray[np.float64]]) -> float:
     """Kullback-Leibler divergence ``D(p || q)`` in nats.
 
     This is the "relative entropy" distance of constraint (5) in the paper:
@@ -309,7 +313,7 @@ def kl_divergence(p: Pmf | np.ndarray, q: Pmf | np.ndarray) -> float:
     return float(np.sum(pv[mask] * np.log(pv[mask] / qv[mask])))
 
 
-def _erf(x: np.ndarray) -> np.ndarray:
+def _erf(x: npt.NDArray[np.float64]) -> npt.NDArray[np.float64]:
     """Vectorized error function (scipy-free fallback is not needed)."""
     from scipy.special import erf
 

@@ -1,0 +1,109 @@
+"""Per-run configuration for rushlint.
+
+The interesting part is *path classification*: most rules only apply to
+code that must be deterministic (the scheduler core, the cluster
+simulator, the fault injectors, the workload generator) or to benchmark
+fixtures.  Classification is data, not code, so tests can force a
+fixture snippet into any context and downstream projects can widen the
+deterministic set as they grow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import FrozenSet, Optional, Tuple
+
+__all__ = ["LintConfig", "DETERMINISTIC_PACKAGES", "ANNOTATION_PACKAGES"]
+
+#: Sub-packages of ``repro`` whose behaviour must be a pure function of
+#: (inputs, seed): no wall clocks, no unseeded randomness.
+DETERMINISTIC_PACKAGES: FrozenSet[str] = frozenset(
+    {"core", "cluster", "faults", "workload"})
+
+#: Sub-packages whose public API must be fully type-annotated (RL007) —
+#: the same set ``mypy --strict`` gates in CI.
+ANNOTATION_PACKAGES: FrozenSet[str] = frozenset({"core", "estimation"})
+
+#: Path fragments marking benchmark/fixture files for RL008.
+BENCHMARK_MARKERS: Tuple[str, ...] = ("benchmarks", "bench_", "fixtures")
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Immutable configuration for one lint run.
+
+    ``select``/``ignore`` filter by rule id (``select=None`` means all
+    registered rules).  ``package_override`` forces every file into one
+    package classification — used by the fixture tests and available via
+    ``rush lint --as-package`` for checking out-of-tree snippets.
+    """
+
+    select: Optional[FrozenSet[str]] = None
+    ignore: FrozenSet[str] = frozenset()
+    deterministic_packages: FrozenSet[str] = DETERMINISTIC_PACKAGES
+    annotation_packages: FrozenSet[str] = ANNOTATION_PACKAGES
+    benchmark_markers: Tuple[str, ...] = BENCHMARK_MARKERS
+    package_override: Optional[str] = None
+    #: Treat every linted file as a benchmark fixture (RL008 context).
+    benchmark_override: bool = False
+    #: Function-name suffixes whose calls are assumed float-valued by
+    #: RL003, beyond float literals (see the rule's docstring).
+    float_call_names: FrozenSet[str] = frozenset(
+        {"value", "max_value", "min_value", "mean", "std", "var",
+         "cdf_at", "kl_divergence", "total_utility", "demand_at",
+         "mean_demand", "quantile_demand", "utility_vector",
+         "hit_rate", "completion"})
+    #: Attribute names assumed float-valued by RL003.
+    float_attr_names: FrozenSet[str] = frozenset(
+        {"utility_value", "predicted_utility", "kl", "eta",
+         "robust_demand", "reference_demand", "demand", "worst_kl",
+         "planned_completion"})
+    #: Callables whose invocation marks a ``try`` body as a solver call
+    #: site for RL006.
+    solver_call_names: FrozenSet[str] = field(
+        default_factory=lambda: frozenset(
+            {"solve_onion", "solve_wcde", "solve_rem", "map_time_slots",
+             "plan", "robust_demand"}))
+
+    def enabled(self, rule_id: str) -> bool:
+        if rule_id in self.ignore:
+            return False
+        if self.select is not None:
+            return rule_id in self.select
+        return True
+
+    # -- path classification -------------------------------------------
+
+    def package_of(self, path: str) -> str:
+        """The ``repro`` sub-package a path belongs to (``""`` if none).
+
+        ``src/repro/core/wcde.py`` -> ``"core"``; a path with no
+        ``repro`` component classifies as its first directory component,
+        so checking a bare tree like ``core/rem.py`` still works.
+        """
+        if self.package_override is not None:
+            return self.package_override
+        parts = Path(path).parts
+        if "repro" in parts:
+            idx = len(parts) - 1 - parts[::-1].index("repro")
+            if idx + 1 < len(parts) - 1:
+                return parts[idx + 1]
+            return ""
+        return parts[0] if len(parts) > 1 else ""
+
+    def is_deterministic(self, path: str) -> bool:
+        return self.package_of(path) in self.deterministic_packages
+
+    def is_annotated_api(self, path: str) -> bool:
+        return self.package_of(path) in self.annotation_packages
+
+    def is_benchmark(self, path: str) -> bool:
+        if self.benchmark_override:
+            return True
+        name = Path(path).name
+        parts = Path(path).parts
+        for marker in self.benchmark_markers:
+            if marker in parts or name.startswith(marker):
+                return True
+        return False

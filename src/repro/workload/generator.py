@@ -147,6 +147,9 @@ class WorkloadGenerator:
     def _scaled_tasks(self, template: JobTemplate, size_gb: float,
                       rng: np.random.Generator) -> List[int]:
         raw = template.sample_tasks(size_gb, rng)
+        # rushlint: disable=RL003 (exact-one config sentinel: only a
+        # literal 1.0 may skip rescaling — golden traces depend on the
+        # untouched integer durations)
         if self.config.time_scale == 1.0:
             return raw
         return [max(1, int(round(d * self.config.time_scale))) for d in raw]

@@ -1,0 +1,11 @@
+"""RL001 negative: all randomness flows through seeded generators."""
+import numpy as np
+
+
+def make_rng(seed: int) -> np.random.Generator:
+    children = np.random.SeedSequence(seed).spawn(1)
+    return np.random.default_rng(children[0])
+
+
+def draw_gap(rng: np.random.Generator, mean: float) -> float:
+    return float(rng.exponential(mean))

@@ -1,0 +1,10 @@
+"""RL001 positive: module-level RNG in a deterministic package."""
+import random
+
+import numpy as np
+
+
+def draw_gap(mean: float) -> float:
+    jitter = random.random()
+    noise = np.random.normal(0.0, mean)
+    return jitter + noise

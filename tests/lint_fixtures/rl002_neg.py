@@ -1,0 +1,10 @@
+"""RL002 negative: monotonic clocks for solver budgets are allowed."""
+import time
+
+
+def solve_with_budget(budget_seconds: float) -> float:
+    started = time.perf_counter()
+    deadline = started + budget_seconds
+    while time.perf_counter() < deadline:
+        pass
+    return time.perf_counter() - started

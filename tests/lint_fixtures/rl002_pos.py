@@ -1,0 +1,9 @@
+"""RL002 positive: wall-clock reads in a deterministic path."""
+import time
+from datetime import datetime
+
+
+def stamp_plan(plan: dict) -> dict:
+    plan["computed_at"] = time.time()
+    plan["day"] = datetime.now().isoformat()
+    return plan

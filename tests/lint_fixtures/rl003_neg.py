@@ -1,0 +1,8 @@
+"""RL003 negative: isclose for floats, exact equality only on ints."""
+import math
+
+
+def utility_matches(job, expected):
+    if math.isclose(job.utility_value, expected):
+        return True
+    return job.layer == 3

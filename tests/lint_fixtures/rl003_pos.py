@@ -1,0 +1,7 @@
+"""RL003 positive: exact equality on float utility/PMF expressions."""
+
+
+def utility_matches(job, expected):
+    if job.utility_value == expected:
+        return True
+    return job.utility.value(3.0) != 0.5

@@ -1,0 +1,13 @@
+"""RL004 negative: one unconditional decision draw per decision point."""
+
+
+class GoodInjector:
+    def on_slot(self, ctx):
+        fired = self._fires(ctx)
+        if ctx.now > 3 and fired:
+            extra = float(self.vary.uniform(1.0, 2.0))
+            ctx.record("good", "cluster", extra=extra)
+
+    def on_launch(self, ctx, job, task):
+        if self._fires(ctx) and task.duration > 1:
+            task.fail_after = 1

@@ -1,0 +1,14 @@
+"""RL004 positive: three breaches of the decision-stream contract."""
+
+
+class BadInjector:
+    def on_slot(self, ctx):
+        if ctx.now > 3 and self._fires(ctx):
+            ctx.record("bad", "conditional-draw")
+        if self.vary.random() < 0.5:
+            ctx.record("bad", "variation-decides")
+
+    def on_launch(self, ctx, job, task):
+        draw = self._decide.random()
+        if draw < self.rate:
+            ctx.record("bad", task.task_id)

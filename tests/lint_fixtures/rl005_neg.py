@@ -1,0 +1,24 @@
+"""RL005 negative: copies are mutated, shared views stay frozen."""
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def rescale(pmf):
+    probs = np.array(pmf.probs, dtype=float)
+    probs[0] = 0.0
+    probs.sort()
+    return probs
+
+
+def freeze(arr):
+    arr.setflags(write=False)
+    return arr
+
+
+@dataclass(frozen=True)
+class Target:
+    value: float
+
+    def doubled(self) -> float:
+        return self.value * 2.0

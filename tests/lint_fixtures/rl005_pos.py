@@ -1,0 +1,17 @@
+"""RL005 positive: mutating shared read-only PMF state."""
+from dataclasses import dataclass
+
+
+def corrupt(pmf, arr):
+    pmf.probs[0] = 0.5
+    pmf.probs += 0.1
+    arr.setflags(write=True)
+    pmf.cdf().sort()
+
+
+@dataclass(frozen=True)
+class Target:
+    value: float
+
+    def bump(self):
+        self.value += 1.0

@@ -1,0 +1,8 @@
+"""RL006 positive: a solver failure silently swallowed."""
+
+
+def plan_round(planner, jobs):
+    try:
+        return planner.plan(jobs)
+    except Exception:
+        return None

@@ -1,0 +1,23 @@
+"""RL007 negative: public API annotated; private helpers exempt."""
+from typing import List, Optional
+
+
+def solve(jobs: List[str], capacity: int) -> int:
+    return capacity
+
+
+def _helper(x):
+    return x
+
+
+class Planner:
+    def plan(self, jobs: List[str], horizon: Optional[int] = None) -> int:
+        return horizon or 0
+
+    def _internal(self, x):
+        return x
+
+
+class _Hidden:
+    def method(self, x):
+        return x

@@ -1,0 +1,10 @@
+"""RL007 positive: public core API with incomplete annotations."""
+
+
+def solve(jobs, capacity: int):
+    return capacity
+
+
+class Planner:
+    def plan(self, jobs, horizon: int = 0):
+        return horizon

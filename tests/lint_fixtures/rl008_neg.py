@@ -1,0 +1,10 @@
+"""RL008 negative: seeded fixture timed with a monotonic clock."""
+import time
+
+from numpy.random import default_rng
+
+
+def make_workload(seed: int):
+    rng = default_rng(seed)
+    started = time.perf_counter()
+    return rng.random(), time.perf_counter() - started

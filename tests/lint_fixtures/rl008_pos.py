@@ -1,0 +1,11 @@
+"""RL008 positive: nondeterministic benchmark fixture."""
+import time
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def make_workload():
+    rng = default_rng()
+    np.random.seed()
+    return rng.random(), time.time()
