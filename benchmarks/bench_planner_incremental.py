@@ -15,6 +15,10 @@ Measures the live planner against the frozen pre-PR hot path
 * ``dirty_replay`` — an event-stream replay where a small fraction of
   jobs observe new samples each round, the realistic mid-ground.
   Reported, not gated.
+* ``obs_overhead`` — the same steady-state replanning with the
+  ``repro.obs`` span tracer + metrics registry enabled versus the
+  default null instruments.  Gate: enabled/disabled wall-clock ratio
+  <= 1.10 (the observability layer must stay out of the hot path).
 
 Every scenario also asserts *plan equivalence*: the incremental planner
 (memo + presolve) reproduces the live cold plan bit-identically, and the
@@ -44,6 +48,7 @@ from repro import (
     RushPlanner,
     SchedulePlan,
     SigmoidUtility,
+    obs,
 )
 from repro.analysis import format_table
 
@@ -65,6 +70,7 @@ DIRTY_FRACTION = 0.1
 
 SPEEDUP_GATE_STEADY = 3.0
 SPEEDUP_GATE_COLD = 1.5
+OBS_OVERHEAD_GATE = 1.10
 
 
 def _make_jobs(n: int, seed: int = 0):
@@ -223,10 +229,43 @@ def bench_dirty_replay() -> Dict:
     }
 
 
+def bench_obs_overhead() -> Dict:
+    """Steady-state replanning, observability enabled vs the null default."""
+    jobs, _, _ = _make_jobs(STEADY_JOBS, seed=2)
+
+    def steady_seconds() -> float:
+        incremental = IncrementalPlanner(_live_planner(), warm_start=True)
+        incremental.plan(jobs)              # warm memo + hints
+        start = time.perf_counter()
+        for _ in range(STEADY_ROUNDS):
+            incremental.plan(jobs)
+        return time.perf_counter() - start
+
+    disabled = statistics.median(steady_seconds() for _ in range(5))
+    obs.enable(trace=True, metrics=True, ledger=True)
+    try:
+        enabled = statistics.median(steady_seconds() for _ in range(5))
+        spans = len(obs.get_tracer().spans)
+        metric_names = len(obs.get_metrics().snapshot())
+    finally:
+        obs.reset()
+
+    return {
+        "jobs": STEADY_JOBS,
+        "rounds": STEADY_ROUNDS,
+        "disabled_seconds": disabled,
+        "enabled_seconds": enabled,
+        "overhead_ratio": enabled / disabled,
+        "spans_recorded": spans,
+        "metrics_registered": metric_names,
+    }
+
+
 def run_all() -> Dict:
     steady = bench_steady_state()
     cold = bench_fig5_cold()
     replay = bench_dirty_replay()
+    overhead = bench_obs_overhead()
     payload = {
         "benchmark": "planner_incremental",
         "full_scale": FULL_SCALE,
@@ -235,10 +274,12 @@ def run_all() -> Dict:
         "delta": DELTA,
         "tolerance": TOLERANCE,
         "gates": {"steady_state_min_speedup": SPEEDUP_GATE_STEADY,
-                  "fig5_cold_min_speedup": SPEEDUP_GATE_COLD},
+                  "fig5_cold_min_speedup": SPEEDUP_GATE_COLD,
+                  "obs_max_overhead_ratio": OBS_OVERHEAD_GATE},
         "steady_state": steady,
         "fig5_cold": cold,
         "dirty_replay": replay,
+        "obs_overhead": overhead,
     }
 
     rows = [["steady state (unchanged x%d)" % STEADY_ROUNDS,
@@ -253,10 +294,17 @@ def run_all() -> Dict:
                  replay["speedup"]])
     table = format_table(
         ["scenario", "legacy s", "live s", "speedup"], rows, digits=3)
+    obs_line = ("Observability overhead (trace+metrics on steady state): "
+                "%.3fs -> %.3fs, ratio %.3fx (%d spans, %d metrics)."
+                % (overhead["disabled_seconds"], overhead["enabled_seconds"],
+                   overhead["overhead_ratio"], overhead["spans_recorded"],
+                   overhead["metrics_registered"]))
     report = ("Incremental planning engine vs frozen pre-PR hot path\n\n"
               + table + "\n\nGates: steady state >= %.1fx, cold sweep >= "
-              "%.1fx.  Plans bit-identical in every scenario checked."
-              % (SPEEDUP_GATE_STEADY, SPEEDUP_GATE_COLD))
+              "%.1fx, obs overhead <= %.2fx.  Plans bit-identical in every "
+              "scenario checked.\n"
+              % (SPEEDUP_GATE_STEADY, SPEEDUP_GATE_COLD, OBS_OVERHEAD_GATE)
+              + obs_line)
     print("\n" + report)
     write_report("planner.txt", report)
     (ROOT / "BENCH_planner.json").write_text(
@@ -273,6 +321,10 @@ def test_incremental_planner_benchmark_gates():
     assert payload["fig5_cold"]["speedup"] >= SPEEDUP_GATE_COLD, (
         "cold-sweep speedup %.2fx below the %.1fx gate"
         % (payload["fig5_cold"]["speedup"], SPEEDUP_GATE_COLD))
+    assert (payload["obs_overhead"]["overhead_ratio"]
+            <= OBS_OVERHEAD_GATE), (
+        "observability overhead %.3fx above the %.2fx gate"
+        % (payload["obs_overhead"]["overhead_ratio"], OBS_OVERHEAD_GATE))
 
 
 if __name__ == "__main__":

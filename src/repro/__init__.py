@@ -22,7 +22,11 @@ package provides:
   regenerating the paper's figures, and fault-intensity chaos sweeps;
 * :mod:`repro.faults` — composable, seeded fault injectors (crashes,
   stragglers, kills, corrupted samples, solver starvation) with JSON
-  specs and a monotone intensity knob.
+  specs and a monotone intensity knob;
+* :mod:`repro.obs` — deterministic, slot-indexed observability: solver
+  span tracing, a counters/gauges/histograms registry with Prometheus
+  text export, and a predicted-vs-actual completion-time ledger scored
+  by :func:`repro.analysis.calibration.calibration_report`.
 
 Quickstart::
 
@@ -67,9 +71,12 @@ from repro.core import (
     solve_wcde,
     worst_case_demand,
 )
+from repro import obs
+from repro.analysis.calibration import CalibrationReport, calibration_report
 from repro.analysis.chaos import ChaosPoint, ChaosReport, chaos_sweep
 from repro.analysis.experiment import Experiment, ExperimentResults
 from repro.core.degradation import DegradationOutcome, DegradationPolicy
+from repro.obs import CompletionLedger, MetricsRegistry, SpanTracer
 from repro.faults import (
     FaultEvent,
     FaultInjector,
@@ -203,6 +210,13 @@ __all__ = [
     "FaultPlan",
     "default_chaos_plan",
     "load_fault_plan",
+    # observability
+    "obs",
+    "SpanTracer",
+    "MetricsRegistry",
+    "CompletionLedger",
+    "CalibrationReport",
+    "calibration_report",
     # analysis / ui
     "Experiment",
     "ExperimentResults",

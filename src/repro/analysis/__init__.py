@@ -1,5 +1,10 @@
 """Analysis toolkit: figure-shaped statistics and text rendering."""
 
+from repro.analysis.calibration import (
+    CalibrationReport,
+    CalibrationRow,
+    calibration_report,
+)
 from repro.analysis.chaos import ChaosPoint, ChaosReport, chaos_sweep
 from repro.analysis.experiment import Experiment, ExperimentResults
 from repro.analysis.gantt import job_legend, render_gantt
@@ -19,6 +24,9 @@ from repro.analysis.stats import (
 )
 
 __all__ = [
+    "CalibrationReport",
+    "CalibrationRow",
+    "calibration_report",
     "ChaosPoint",
     "ChaosReport",
     "chaos_sweep",

@@ -1,12 +1,17 @@
 """Command-line interface for the RUSH reproduction.
 
-Five subcommands cover the workflow an operator would actually use:
+The subcommands cover the workflow an operator would actually use:
 
 ``rush generate``
     Draw a Section V-B workload and freeze it to a JSON-lines trace.
 ``rush simulate``
     Replay a trace under one scheduling policy and print the outcome
-    (optionally under an injected fault plan: ``--faults spec.json``).
+    (optionally under an injected fault plan: ``--faults spec.json``;
+    ``--span-trace``/``--metrics``/``--calibration`` switch on the
+    repro.obs instruments for the run).
+``rush metrics``
+    Run a seeded simulation with the metrics registry enabled and print
+    the Prometheus text exposition (deterministic per seed).
 ``rush compare``
     Run several policies over the same workload (the Figure 4/6 loop)
     and print the comparison tables.
@@ -32,6 +37,8 @@ import os
 import sys
 from typing import Dict, List, Optional, Sequence
 
+from repro import obs
+from repro.analysis.calibration import calibration_report
 from repro.analysis.chaos import chaos_sweep
 from repro.analysis.experiment import Experiment
 from repro.analysis.report import format_table
@@ -104,6 +111,36 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--max-slots", type=int, default=1_000_000,
                           help="slot cap; a run hitting it is reported as "
                                "censored")
+    simulate.add_argument("--span-trace", metavar="PATH",
+                          help="record solver spans and write them as "
+                               "JSONL to PATH (slot-indexed, "
+                               "deterministic)")
+    simulate.add_argument("--metrics", action="store_true",
+                          help="collect the repro.obs metrics registry "
+                               "and print it (Prometheus text) after the "
+                               "run")
+    simulate.add_argument("--metrics-out", metavar="PATH",
+                          help="also write the Prometheus metrics text "
+                               "to PATH (implies --metrics collection)")
+    simulate.add_argument("--calibration", action="store_true",
+                          help="track predicted-vs-actual completions "
+                               "and print the calibration report "
+                               "(RUSH policy only)")
+
+    metrics = sub.add_parser(
+        "metrics", help="run a seeded simulation with the metrics "
+                        "registry enabled and print Prometheus text")
+    metrics.add_argument("--trace", required=True)
+    metrics.add_argument("--capacity", type=int, default=48)
+    metrics.add_argument("--policy", choices=sorted(POLICY_FACTORIES),
+                         default="rush")
+    metrics.add_argument("--seed", type=int, default=0)
+    metrics.add_argument("--faults",
+                         help="JSON fault-plan spec to inject")
+    metrics.add_argument("--intensity", type=float, default=None,
+                         help="scale the fault plan's rates by this factor")
+    metrics.add_argument("--max-slots", type=int, default=1_000_000)
+    metrics.add_argument("--out", help="also write the text exposition here")
 
     compare = sub.add_parser("compare", help="run several policies and compare")
     compare.add_argument("--jobs", type=int, default=25)
@@ -184,8 +221,26 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     policy = POLICY_FACTORIES[args.policy]()
     scheduler = SpeculativeScheduler(policy) if args.speculative else policy
     faults = _build_fault_plan(args)
-    result = run_simulation(specs, args.capacity, scheduler, seed=args.seed,
-                            max_slots=args.max_slots, faults=faults)
+    want_metrics = bool(args.metrics or args.metrics_out)
+    want_obs = bool(args.span_trace or want_metrics or args.calibration)
+    handle = None
+    if want_obs:
+        handle = obs.enable(trace=bool(args.span_trace),
+                            metrics=want_metrics,
+                            ledger=bool(args.calibration))
+    try:
+        result = run_simulation(specs, args.capacity, scheduler,
+                                seed=args.seed, max_slots=args.max_slots,
+                                faults=faults)
+        return _report_simulate(args, result, policy, faults, handle)
+    finally:
+        if want_obs:
+            obs.reset()
+
+
+def _report_simulate(args: argparse.Namespace, result, policy,
+                     faults: Optional[FaultPlan],
+                     handle: Optional[obs.ObsHandle]) -> int:
     rows = [[r.job_id, r.sensitivity, r.arrival, r.runtime, r.latency,
              r.utility_value, "yes" if r.completed else "NO"]
             for r in result.records]
@@ -207,6 +262,46 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                   f"(got {args.policy}); nothing to report")
         else:
             print("\n" + render_profile_text(profile()))
+    if handle is not None:
+        _report_obs(args, handle)
+    return 0
+
+
+def _report_obs(args: argparse.Namespace, handle: obs.ObsHandle) -> int:
+    """Write/print the observability artifacts a simulate run asked for."""
+    if args.span_trace:
+        spans = obs.export.write_trace_jsonl(handle.tracer, args.span_trace)
+        print(f"\nwrote {spans} spans to {args.span_trace}")
+    if args.metrics_out:
+        obs.export.write_metrics_text(handle.metrics, args.metrics_out)
+        print(f"\nwrote metrics text to {args.metrics_out}")
+    if args.metrics:
+        print("\n" + handle.metrics.render_prometheus(), end="")
+    if args.calibration:
+        report = calibration_report(handle.ledger)
+        if report.rows:
+            print("\n" + report.summary_table())
+        else:
+            print("\n--calibration saw no completion predictions "
+                  f"(policy {args.policy} does not plan); nothing to score")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    specs = load_trace(args.trace)
+    scheduler = POLICY_FACTORIES[args.policy]()
+    faults = _build_fault_plan(args)
+    handle = obs.enable(trace=False, metrics=True, ledger=False)
+    try:
+        run_simulation(specs, args.capacity, scheduler, seed=args.seed,
+                       max_slots=args.max_slots, faults=faults)
+        text = handle.metrics.render_prometheus()
+        print(text, end="")
+        if args.out:
+            obs.export.write_metrics_text(handle.metrics, args.out)
+            print(f"# wrote metrics text to {args.out}", file=sys.stderr)
+    finally:
+        obs.reset()
     return 0
 
 
@@ -279,6 +374,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "generate": _cmd_generate,
     "simulate": _cmd_simulate,
+    "metrics": _cmd_metrics,
     "compare": _cmd_compare,
     "plan": _cmd_plan,
     "chaos": _cmd_chaos,

@@ -71,6 +71,11 @@ class SimulationResult:
     full injected-fault stream of the run, and ``fallbacks`` counts the
     scheduler's degradation-ladder rungs (e.g. ``{"cold_exact": 2}``) —
     both empty for a healthy run.
+
+    ``metrics`` is the :mod:`repro.obs` registry snapshot taken when the
+    run ended — ``None`` unless observability was enabled for the run
+    (``repro.obs.enable(metrics=True)``), so default runs stay
+    byte-identical to pre-observability ones.
     """
 
     scheduler_name: str
@@ -85,6 +90,11 @@ class SimulationResult:
     timed_out: bool = False
     fault_events: List[FaultEvent] = field(default_factory=list)
     fallbacks: Dict[str, int] = field(default_factory=dict)
+    metrics: Optional[Dict[str, object]] = None
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """The run's metrics-registry snapshot ({} when obs was off)."""
+        return dict(self.metrics) if self.metrics else {}
 
     # -- selection helpers -------------------------------------------------
 
@@ -151,7 +161,7 @@ class SimulationResult:
         """JSON-compatible dump of the run (for external analysis)."""
         import dataclasses
 
-        return {
+        out = {
             "scheduler": self.scheduler_name,
             "capacity": self.capacity,
             "slots_simulated": self.slots_simulated,
@@ -165,6 +175,9 @@ class SimulationResult:
             "fallbacks": dict(self.fallbacks),
             "records": [dataclasses.asdict(r) for r in self.records],
         }
+        if self.metrics is not None:
+            out["metrics"] = dict(self.metrics)
+        return out
 
     def save_json(self, path) -> None:
         """Write :meth:`to_dict` to ``path`` (NaN-safe JSON)."""

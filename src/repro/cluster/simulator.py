@@ -27,9 +27,16 @@ from repro.cluster.container import Container
 from repro.cluster.job import JobSpec, SimJob
 from repro.cluster.metrics import JobRecord, SimulationResult
 from repro.faults.plan import FaultPlan
+from repro.obs import get_ledger, get_metrics, get_tracer
 from repro.schedulers.base import Scheduler
 
 __all__ = ["ClusterSimulator", "run_simulation"]
+
+#: Per-slot container-utilization histogram buckets (fraction busy).
+_UTILIZATION_BUCKETS = (0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
+
+#: Per-slot task-completion histogram buckets.
+_COMPLETION_BUCKETS = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
 
 
 class ClusterSimulator:
@@ -104,10 +111,13 @@ class ClusterSimulator:
 
     def step(self) -> None:
         """Simulate one slot."""
+        get_tracer().set_slot(self.now)
         self._admit_arrivals()
         self.faults.on_slot()
         self._fire_scheduling_events()
-        self._advance_tasks()
+        busy_before = self.busy_container_slots
+        completed = self._advance_tasks()
+        self._observe_slot(self.busy_container_slots - busy_before, completed)
         self.now += 1
 
     def run(self, max_slots: int = 1_000_000, *,
@@ -176,9 +186,10 @@ class ClusterSimulator:
             self.speculative_launches += 1
             self.scheduler.on_task_launched(job, duplicate)
 
-    def _advance_tasks(self) -> None:
+    def _advance_tasks(self) -> int:
         from repro.cluster.task import TaskState
 
+        completed_tasks = 0
         for container in self.containers:
             if not container.is_free:
                 self.busy_container_slots += 1
@@ -193,13 +204,42 @@ class ClusterSimulator:
                 continue
             if not job.note_completed(finished):
                 continue  # a sibling already completed this logical task
+            completed_tasks += 1
             self.faults.on_complete(job, finished)
             self._cancel_siblings(job, finished)
             self.scheduler.on_task_complete(job, finished)
             if job.is_complete:
                 self._active.remove(job)
                 self._completed.append(job)
+                completion = job.completion_time
+                get_ledger().realize(
+                    job.job_id,
+                    self.now if completion is None else int(completion))
                 self.scheduler.on_job_complete(job)
+        return completed_tasks
+
+    def _observe_slot(self, busy: int, completed_tasks: int) -> None:
+        """Feed the per-slot gauges/histograms (no-op unless obs enabled)."""
+        metrics = get_metrics()
+        if not metrics.active:
+            return
+        queue_depth = sum(j.pending_count for j in self._active)
+        metrics.gauge("rush_sim_queue_depth",
+                      help="Pending tasks across active jobs",
+                      unit="tasks").set(queue_depth)
+        metrics.gauge("rush_sim_busy_containers",
+                      help="Containers running a task this slot",
+                      unit="containers").set(busy)
+        metrics.histogram("rush_sim_utilization",
+                          buckets=_UTILIZATION_BUCKETS,
+                          help="Per-slot fraction of busy containers",
+                          unit="fraction").observe(busy / self.capacity)
+        metrics.histogram("rush_sim_slot_completions",
+                          buckets=_COMPLETION_BUCKETS,
+                          help="Logical task completions per slot",
+                          unit="tasks").observe(completed_tasks)
+        metrics.counter("rush_sim_tasks_completed_total",
+                        help="Logical task completions").inc(completed_tasks)
 
     def _cancel_siblings(self, job: SimJob, winner) -> None:
         """Abort surviving attempts of a logical task that just completed."""
@@ -219,7 +259,9 @@ class ClusterSimulator:
         ]
         records.sort(key=lambda r: (r.arrival, r.job_id))
         fallbacks = dict(getattr(self.scheduler, "degradation_counts", {}) or {})
+        registry = get_metrics()
         return SimulationResult(
+            metrics=registry.snapshot() if registry.active else None,
             scheduler_name=self.scheduler.name,
             capacity=self.capacity,
             slots_simulated=self.now,

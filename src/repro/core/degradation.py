@@ -31,11 +31,25 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, ReproError
 from repro.core.planner import SchedulePlan
+from repro.obs import get_metrics, get_tracer
 
 __all__ = ["DegradationPolicy", "DegradationOutcome", "LADDER"]
 
 #: The rungs, in the order they are attempted.
 LADDER = ("primary", "cold_exact", "last_good", "greedy_edf")
+
+
+def _note_fallback(rung: str, errors: List[str]) -> None:
+    """Trace/count one degradation fallback (never called for primary)."""
+    tracer = get_tracer()
+    if tracer.active:
+        tracer.event("degradation.fallback", rung=rung,
+                     failed_rungs=len(errors))
+    metrics = get_metrics()
+    if metrics.active:
+        metrics.counter("rush_degradation_fallbacks_total",
+                        help="Planning rounds served by a fallback rung",
+                        labels=("rung",)).labels(rung).inc()
 
 
 class DegradationOutcome:
@@ -118,10 +132,13 @@ class DegradationPolicy:
             if rung != "primary":
                 self.counts[rung] = self.counts.get(rung, 0) + 1
                 plan.stats.fallback = rung
+                _note_fallback(rung, errors)
             return DegradationOutcome(plan, rung, errors)
         if last_good is not None:
             self.counts["last_good"] = self.counts.get("last_good", 0) + 1
             last_good.stats.fallback = "last_good"
+            _note_fallback("last_good", errors)
             return DegradationOutcome(last_good, "last_good", errors)
         self.counts["greedy_edf"] = self.counts.get("greedy_edf", 0) + 1
+        _note_fallback("greedy_edf", errors)
         return DegradationOutcome(None, "greedy_edf", errors)

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Set
 
 from repro.errors import ConfigurationError
+from repro.obs import get_metrics, get_tracer
 
 __all__ = ["MappingJob", "Segment", "ContainerPlan", "map_time_slots"]
 
@@ -159,44 +160,53 @@ def map_time_slots(jobs: Sequence[MappingJob], capacity: int) -> ContainerPlan:
     if len(set(ids)) != len(ids):
         raise ConfigurationError("job ids must be unique within one mapping")
 
-    plan = ContainerPlan(capacity=capacity)
-    occupation = [0.0] * capacity
-    for job in sorted(jobs, key=lambda j: (j.target_completion, -j.tie_break,
-                                           j.job_id)):
-        remaining = job.task_count
-        if remaining == 0:
-            plan.completions[job.job_id] = 0.0
-            continue
-        finish = 0.0
-        target = float(job.target_completion)
-        for k in range(capacity):
+    with get_tracer().span("mapping.solve", jobs=len(jobs),
+                           capacity=capacity) as span:
+        plan = ContainerPlan(capacity=capacity)
+        occupation = [0.0] * capacity
+        for job in sorted(jobs, key=lambda j: (j.target_completion,
+                                               -j.tie_break, j.job_id)):
+            remaining = job.task_count
             if remaining == 0:
-                break
-            if occupation[k] >= target:
+                plan.completions[job.job_id] = 0.0
                 continue
-            # Tasks placeable while the queue occupation stays below T_i;
-            # the last one may overshoot to < T_i + R_i.
-            fit = int(math.ceil((target - occupation[k]) / job.runtime - 1e-9))
-            take = min(fit, remaining)
-            if take <= 0:
-                continue
-            seg = Segment(job_id=job.job_id, queue=k,
-                          start=occupation[k], tasks=take, runtime=job.runtime)
-            plan.segments.append(seg)
-            occupation[k] = seg.end
-            finish = max(finish, seg.end)
-            remaining -= take
-        while remaining > 0:
-            # Infeasible targets: force the residue onto the least-occupied
-            # queue, one task at a time, and flag the job as overflowed.
-            plan.overflowed.add(job.job_id)
-            k = min(range(capacity), key=occupation.__getitem__)
-            seg = Segment(job_id=job.job_id, queue=k,
-                          start=occupation[k], tasks=1, runtime=job.runtime)
-            plan.segments.append(seg)
-            occupation[k] = seg.end
-            finish = max(finish, seg.end)
-            remaining -= 1
-        plan.completions[job.job_id] = finish
-    plan._index()
+            finish = 0.0
+            target = float(job.target_completion)
+            for k in range(capacity):
+                if remaining == 0:
+                    break
+                if occupation[k] >= target:
+                    continue
+                # Tasks placeable while the queue occupation stays below T_i;
+                # the last one may overshoot to < T_i + R_i.
+                fit = int(math.ceil((target - occupation[k]) / job.runtime
+                                    - 1e-9))
+                take = min(fit, remaining)
+                if take <= 0:
+                    continue
+                seg = Segment(job_id=job.job_id, queue=k, start=occupation[k],
+                              tasks=take, runtime=job.runtime)
+                plan.segments.append(seg)
+                occupation[k] = seg.end
+                finish = max(finish, seg.end)
+                remaining -= take
+            while remaining > 0:
+                # Infeasible targets: force the residue onto the
+                # least-occupied queue, one task at a time, and flag the job
+                # as overflowed.
+                plan.overflowed.add(job.job_id)
+                k = min(range(capacity), key=occupation.__getitem__)
+                seg = Segment(job_id=job.job_id, queue=k, start=occupation[k],
+                              tasks=1, runtime=job.runtime)
+                plan.segments.append(seg)
+                occupation[k] = seg.end
+                finish = max(finish, seg.end)
+                remaining -= 1
+            plan.completions[job.job_id] = finish
+        plan._index()
+        span.note(makespan=plan.makespan, overflowed=len(plan.overflowed))
+    metrics = get_metrics()
+    if metrics.active:
+        metrics.counter("rush_mapping_solves_total",
+                        help="Continuous time-slot mappings").inc()
     return plan

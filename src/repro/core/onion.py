@@ -45,6 +45,7 @@ import numpy.typing as npt
 
 from repro.errors import (ConfigurationError, InfeasiblePlanError,
                           SolverBudgetError)
+from repro.obs import get_metrics, get_tracer
 from repro.utility.base import UtilityFunction
 from repro.utility.constant import ConstantUtility
 from repro.utility.linear import LinearUtility
@@ -53,6 +54,17 @@ from repro.utility.step import StepUtility
 
 __all__ = ["OnionJob", "JobTarget", "OnionResult", "LayerHint", "solve_onion",
            "default_horizon"]
+
+
+def _note_solve(layers: int, checks: int) -> None:
+    """Record one completed onion solve in the metrics registry."""
+    metrics = get_metrics()
+    if metrics.active:
+        metrics.counter("rush_onion_solves_total",
+                        help="Onion lex-max-min solves").inc()
+        metrics.counter("rush_onion_feasibility_checks_total",
+                        help="Staircase feasibility evaluations",
+                        unit="checks").inc(checks)
 
 
 @dataclass(frozen=True)
@@ -444,120 +456,139 @@ def solve_onion(jobs: Sequence[OnionJob], capacity: int, *,
     hints: List[LayerHint] = []
     layer = 0
     seed: Optional[float] = None
-    while active:
-        layer += 1
-        active_idx = np.array(active, dtype=int)
-        ceiling = float(bank.max_values[active_idx].max())
-        ok, _ = feasibility(ceiling, active_idx)
-        if ok:
-            # Every remaining job attains its ceiling; peel them all.
-            deadlines = bank.deadlines(ceiling)[active_idx]
-            _peel_batch(jobs, active, list(active_idx), deadlines, ledger,
-                        targets, layer, horizon)
-            break
-        high = ceiling
-        # Seed the bracket's feasible end from the previous layer: the
-        # peel invariant keeps its verified level feasible for the
-        # remaining jobs, so one probe replaces the cold floor probe and
-        # usually starts the bisection much closer to the fixed point.
-        low = None
-        if seed is not None and global_floor < seed < high:
-            ok, _ = feasibility(seed, active_idx)
+    tracer = get_tracer()
+    # Per-layer records accumulate in a plain list and land on the solve
+    # span's payload in one note() at the end: one peel per job makes a
+    # per-layer trace *event* a per-job Span allocation on the planner's
+    # hot path, which is what the benchmark's obs-overhead gate polices.
+    trail: Optional[List[Dict[str, object]]] = [] if tracer.active else None
+    with tracer.span("onion.solve", jobs=len(jobs),
+                     capacity=capacity,
+                     horizon=horizon) as solve_span:
+        while active:
+            layer += 1
+            active_idx = np.array(active, dtype=int)
+            ceiling = float(bank.max_values[active_idx].max())
+            ok, _ = feasibility(ceiling, active_idx)
             if ok:
-                low = seed
-        if low is None:
-            ok, violator = feasibility(global_floor, active_idx)
-            if not ok:
-                raise InfeasiblePlanError(
-                    "even the minimum utility layer does not fit the horizon "
-                    f"(horizon={horizon}, capacity={capacity}); "
-                    "increase the horizon or drop demand")
-            low = global_floor
-        # Cross-plan warm start: re-probe the previous plan's final
-        # bracket for this layer.  When both probes confirm (the steady
-        # state), the bracket is already at tolerance width — and equal to
-        # the previous one, so the layer peels identically.
-        hint = (warm_start[layer - 1] if warm_start is not None
-                and layer - 1 < len(warm_start) else None)
-        if hint is not None:
-            if low < hint.low < high:
-                ok, _ = feasibility(hint.low, active_idx)
+                # Every remaining job attains its ceiling; peel them all.
+                deadlines = bank.deadlines(ceiling)[active_idx]
+                _peel_batch(jobs, active, list(active_idx), deadlines, ledger,
+                            targets, layer, horizon)
+                if trail is not None:
+                    trail.append({"layer": layer, "level": ceiling,
+                                  "peeled": "batch"})
+                break
+            high = ceiling
+            # Seed the bracket's feasible end from the previous layer: the
+            # peel invariant keeps its verified level feasible for the
+            # remaining jobs, so one probe replaces the cold floor probe and
+            # usually starts the bisection much closer to the fixed point.
+            low = None
+            if seed is not None and global_floor < seed < high:
+                ok, _ = feasibility(seed, active_idx)
                 if ok:
-                    low = hint.low
-                else:
-                    high = hint.low
-            if low < hint.high < high:
-                ok, _ = feasibility(hint.high, active_idx)
+                    low = seed
+            if low is None:
+                ok, violator = feasibility(global_floor, active_idx)
                 if not ok:
-                    high = hint.high
+                    raise InfeasiblePlanError(
+                        "even the minimum utility layer does not fit the horizon "
+                        f"(horizon={horizon}, capacity={capacity}); "
+                        "increase the horizon or drop demand")
+                low = global_floor
+            # Cross-plan warm start: re-probe the previous plan's final
+            # bracket for this layer.  When both probes confirm (the steady
+            # state), the bracket is already at tolerance width — and equal to
+            # the previous one, so the layer peels identically.
+            hint = (warm_start[layer - 1] if warm_start is not None
+                    and layer - 1 < len(warm_start) else None)
+            if hint is not None:
+                if low < hint.low < high:
+                    ok, _ = feasibility(hint.low, active_idx)
+                    if ok:
+                        low = hint.low
+                    else:
+                        high = hint.low
+                if low < hint.high < high:
+                    ok, _ = feasibility(hint.high, active_idx)
+                    if not ok:
+                        high = hint.high
+                    else:
+                        low = hint.high
+            while high - low > tolerance:
+                mid = 0.5 * (low + high)
+                ok, _ = feasibility(mid, active_idx)
+                if ok:
+                    low = mid
                 else:
-                    low = hint.high
-        while high - low > tolerance:
-            mid = 0.5 * (low + high)
-            ok, _ = feasibility(mid, active_idx)
-            if ok:
-                low = mid
-            else:
-                high = mid
-        ok, candidates = staircase(high, active_idx)
-        if not candidates:  # pragma: no cover - defensive
-            candidates = [active[0]]
-        bottleneck = candidates[-1]  # the paper's greedy pick
-        seed = low
-        floor_candidates: Optional[FrozenSet[str]] = None
+                    high = mid
+            ok, candidates = staircase(high, active_idx)
+            if not candidates:  # pragma: no cover - defensive
+                candidates = [active[0]]
+            bottleneck = candidates[-1]  # the paper's greedy pick
+            seed = low
+            floor_candidates: Optional[FrozenSet[str]] = None
 
-        # Sacrifice ambiguity (a refinement beyond the paper's greedy
-        # rule): when the layer bottoms out at the utility floor, the
-        # peeled job escapes the binding constraint entirely — its
-        # floor-level deadline is the horizon — so WHICH prefix member is
-        # sacrificed changes what later layers can achieve.  A one-step
-        # lookahead picks the candidate whose sacrifice maximizes the next
-        # layer's max-min level.  (At interior levels every prefix member
-        # is provably capped at L*, so the greedy pick is optimal there.)
-        if (lookahead > 0 and len(candidates) > 1
-                and low <= global_floor + tolerance):
-            floor_candidates = frozenset(jobs[i].job_id for i in candidates)
-            hinted = None
-            if (hint is not None and hint.bottleneck_id is not None
-                    and hint.candidate_ids == floor_candidates):
-                hinted = next((i for i in candidates
-                               if jobs[i].job_id == hint.bottleneck_id), None)
-            if hinted is not None:
-                # Unchanged candidate set: reuse the recorded sacrifice
-                # instead of re-running one bisection per candidate.  Any
-                # candidate pinned at its level-``low`` deadline preserves
-                # the staircase, so a stale hint is still a *valid* peel.
-                bottleneck = hinted
-            else:
-                shortlist = candidates[-lookahead:]
-                best_level = -math.inf
-                for candidate in shortlist:
-                    pin = _clamp_completion(
-                        float(bank.deadlines(low)[candidate]), horizon)
-                    remaining = np.array([i for i in active if i != candidate],
-                                         dtype=int)
-                    level = _lookahead_level(
-                        staircase, remaining, [float(pin)],
-                        [float(demands[candidate])], global_floor,
-                        float(bank.max_values[remaining].max())
-                        if remaining.size else global_floor,
-                        tolerance)
-                    if level > best_level + 1e-12:
-                        best_level = level
-                        bottleneck = candidate
-                if math.isfinite(best_level):
-                    # The lookahead verified this level feasible for the
-                    # remaining jobs with the winner pinned — a tighter
-                    # (still exact) seed for the next layer.
-                    seed = max(seed, best_level)
+            # Sacrifice ambiguity (a refinement beyond the paper's greedy
+            # rule): when the layer bottoms out at the utility floor, the
+            # peeled job escapes the binding constraint entirely — its
+            # floor-level deadline is the horizon — so WHICH prefix member is
+            # sacrificed changes what later layers can achieve.  A one-step
+            # lookahead picks the candidate whose sacrifice maximizes the next
+            # layer's max-min level.  (At interior levels every prefix member
+            # is provably capped at L*, so the greedy pick is optimal there.)
+            if (lookahead > 0 and len(candidates) > 1
+                    and low <= global_floor + tolerance):
+                floor_candidates = frozenset(jobs[i].job_id for i in candidates)
+                hinted = None
+                if (hint is not None and hint.bottleneck_id is not None
+                        and hint.candidate_ids == floor_candidates):
+                    hinted = next((i for i in candidates
+                                   if jobs[i].job_id == hint.bottleneck_id), None)
+                if hinted is not None:
+                    # Unchanged candidate set: reuse the recorded sacrifice
+                    # instead of re-running one bisection per candidate.  Any
+                    # candidate pinned at its level-``low`` deadline preserves
+                    # the staircase, so a stale hint is still a *valid* peel.
+                    bottleneck = hinted
+                else:
+                    shortlist = candidates[-lookahead:]
+                    best_level = -math.inf
+                    for candidate in shortlist:
+                        pin = _clamp_completion(
+                            float(bank.deadlines(low)[candidate]), horizon)
+                        remaining = np.array([i for i in active if i != candidate],
+                                             dtype=int)
+                        level = _lookahead_level(
+                            staircase, remaining, [float(pin)],
+                            [float(demands[candidate])], global_floor,
+                            float(bank.max_values[remaining].max())
+                            if remaining.size else global_floor,
+                            tolerance)
+                        if level > best_level + 1e-12:
+                            best_level = level
+                            bottleneck = candidate
+                    if math.isfinite(best_level):
+                        # The lookahead verified this level feasible for the
+                        # remaining jobs with the winner pinned — a tighter
+                        # (still exact) seed for the next layer.
+                        seed = max(seed, best_level)
 
-        deadline = float(bank.deadlines(low)[bottleneck])
-        _peel_one(jobs[bottleneck], deadline, ledger, targets, layer, horizon)
-        active.remove(bottleneck)
-        hints.append(LayerHint(low=low, high=high,
-                               candidate_ids=floor_candidates,
-                               bottleneck_id=jobs[bottleneck].job_id))
+            deadline = float(bank.deadlines(low)[bottleneck])
+            _peel_one(jobs[bottleneck], deadline, ledger, targets, layer, horizon)
+            active.remove(bottleneck)
+            hints.append(LayerHint(low=low, high=high,
+                                   candidate_ids=floor_candidates,
+                                   bottleneck_id=jobs[bottleneck].job_id))
+            if trail is not None:
+                trail.append({"layer": layer, "low": low, "high": high,
+                              "peeled": jobs[bottleneck].job_id})
 
+        solve_span.note(layers=layer, feasibility_checks=checks)
+        if trail is not None:
+            solve_span.note(layer_trail=trail)
+    _note_solve(layer, checks)
     return OnionResult(targets=targets, layers=layer,
                        feasibility_checks=checks, horizon=horizon,
                        hints=tuple(hints))

@@ -46,10 +46,26 @@ from repro.core.mapping import ContainerPlan, MappingJob, map_time_slots
 from repro.core.onion import LayerHint, OnionJob, solve_onion
 from repro.core.wcde import WcdeCache, solve_wcde
 from repro.estimation.base import DemandEstimate
+from repro.obs import get_metrics, get_tracer
 from repro.utility.base import UtilityFunction
 
 __all__ = ["PlannerJob", "JobPlan", "PlanStats", "PresolvedDemand",
            "SchedulePlan", "RushPlanner", "IncrementalPlanner"]
+
+#: Histogram buckets for staircase feasibility checks per planning round.
+_CHECK_BUCKETS = (2.0, 8.0, 32.0, 128.0, 512.0, 2048.0)
+
+
+def _note_plan(stats: "PlanStats") -> None:
+    """Record one completed planning round in the metrics registry."""
+    metrics = get_metrics()
+    if metrics.active:
+        metrics.counter("rush_plans_total",
+                        help="Robust planning rounds completed").inc()
+        metrics.histogram("rush_plan_feasibility_checks",
+                          buckets=_CHECK_BUCKETS,
+                          help="Staircase feasibility checks per round",
+                          unit="checks").observe(stats.feasibility_checks)
 
 
 @dataclass(frozen=True)
@@ -316,101 +332,107 @@ class RushPlanner:
         ids = [job.job_id for job in jobs]
         if len(set(ids)) != len(ids):
             raise ConfigurationError("job ids must be unique within one plan")
-        stats = PlanStats(warm_start=warm_start is not None)
-        cache = self.wcde_cache
-        hits0 = cache.hits if cache is not None else 0
-        misses0 = cache.misses if cache is not None else 0
+        with get_tracer().span("planner.plan", jobs=len(jobs)) as span:
+            stats = PlanStats(warm_start=warm_start is not None)
+            cache = self.wcde_cache
+            hits0 = cache.hits if cache is not None else 0
+            misses0 = cache.misses if cache is not None else 0
 
-        etas: Dict[str, float] = {}
-        refs: Dict[str, float] = {}
-        iters: Dict[str, int] = {}
-        presolved_out: Dict[str, PresolvedDemand] = {}
-        onion_jobs: List[OnionJob] = []
-        for job in jobs:
+            etas: Dict[str, float] = {}
+            refs: Dict[str, float] = {}
+            iters: Dict[str, int] = {}
+            presolved_out: Dict[str, PresolvedDemand] = {}
+            onion_jobs: List[OnionJob] = []
+            for job in jobs:
+                if deadline is not None and time.perf_counter() > deadline:
+                    raise SolverBudgetError(
+                        "planning round exceeded its time budget during the "
+                        "WCDE stage")
+                pre = presolved.get(job.job_id) if presolved else None
+                if pre is not None:
+                    eta, ref, n_iter = pre.eta, pre.reference, pre.iterations
+                    stats.wcde_presolved += 1
+                    presolved_out[job.job_id] = pre
+                else:
+                    eta, ref, n_iter = self.robust_demand(job.estimate, job.delta)
+                    presolved_out[job.job_id] = PresolvedDemand(
+                        eta=eta, reference=ref, iterations=n_iter)
+                eta += max(job.extra_demand, 0.0)
+                etas[job.job_id] = eta
+                refs[job.job_id] = ref
+                iters[job.job_id] = n_iter
+                compensation = (job.estimate.container_runtime
+                                if self.compensate_runtime else 0.0)
+                onion_jobs.append(OnionJob(
+                    job_id=job.job_id, demand=eta, utility=job.utility,
+                    elapsed=job.elapsed, compensation=compensation))
+            if cache is not None:
+                stats.wcde_cache_hits = cache.hits - hits0
+                stats.wcde_cache_misses = cache.misses - misses0
+            stats.wcde_seconds = time.perf_counter() - started
+
+            if horizon is None:
+                total = sum(etas.values())
+                max_runtime = max((job.estimate.container_runtime for job in jobs),
+                                  default=1.0)
+                horizon = max(1, int(math.ceil(total / self.capacity))
+                              + int(math.ceil(max_runtime)) + 1)
+
+            onion_started = time.perf_counter()
+            onion = solve_onion(onion_jobs, self.capacity,
+                                tolerance=self.tolerance, horizon=horizon,
+                                warm_start=warm_start, budget_deadline=deadline)
+            stats.onion_seconds = time.perf_counter() - onion_started
+            stats.peels = onion.layers
+            stats.feasibility_checks = onion.feasibility_checks
+
             if deadline is not None and time.perf_counter() > deadline:
                 raise SolverBudgetError(
-                    "planning round exceeded its time budget during the "
-                    "WCDE stage")
-            pre = presolved.get(job.job_id) if presolved else None
-            if pre is not None:
-                eta, ref, n_iter = pre.eta, pre.reference, pre.iterations
-                stats.wcde_presolved += 1
-                presolved_out[job.job_id] = pre
-            else:
-                eta, ref, n_iter = self.robust_demand(job.estimate, job.delta)
-                presolved_out[job.job_id] = PresolvedDemand(
-                    eta=eta, reference=ref, iterations=n_iter)
-            eta += max(job.extra_demand, 0.0)
-            etas[job.job_id] = eta
-            refs[job.job_id] = ref
-            iters[job.job_id] = n_iter
-            compensation = (job.estimate.container_runtime
-                            if self.compensate_runtime else 0.0)
-            onion_jobs.append(OnionJob(
-                job_id=job.job_id, demand=eta, utility=job.utility,
-                elapsed=job.elapsed, compensation=compensation))
-        if cache is not None:
-            stats.wcde_cache_hits = cache.hits - hits0
-            stats.wcde_cache_misses = cache.misses - misses0
-        stats.wcde_seconds = time.perf_counter() - started
+                    "planning round exceeded its time budget before the "
+                    "mapping stage")
+            mapping_started = time.perf_counter()
+            mapping_jobs = []
+            for job in jobs:
+                target = onion.targets[job.job_id].target_completion
+                runtime = job.estimate.container_runtime
+                # Tie-break equal targets by the utility recoverable from
+                # finishing one task-runtime earlier, so a salvageable late job
+                # is packed ahead of a completion-time-insensitive one.
+                earlier = max(target - runtime, 0.0)
+                recoverable = (job.utility.value(job.elapsed + earlier)
+                               - job.utility.value(job.elapsed + target))
+                mapping_jobs.append(MappingJob(
+                    job_id=job.job_id, demand=etas[job.job_id], runtime=runtime,
+                    target_completion=target, tie_break=recoverable))
+            container_plan = map_time_slots(mapping_jobs, self.capacity)
+            stats.mapping_seconds = time.perf_counter() - mapping_started
 
-        if horizon is None:
-            total = sum(etas.values())
-            max_runtime = max((job.estimate.container_runtime for job in jobs),
-                              default=1.0)
-            horizon = max(1, int(math.ceil(total / self.capacity))
-                          + int(math.ceil(max_runtime)) + 1)
+            job_plans: Dict[str, JobPlan] = {}
+            for job in jobs:
+                target = onion.targets[job.job_id]
+                job_plans[job.job_id] = JobPlan(
+                    job_id=job.job_id,
+                    robust_demand=etas[job.job_id],
+                    reference_demand=refs[job.job_id],
+                    target_completion=target.target_completion,
+                    planned_completion=container_plan.completion(job.job_id),
+                    predicted_utility=target.utility_value,
+                    achievable=target.achievable,
+                    layer=target.layer,
+                    wcde_iterations=iters[job.job_id])
 
-        onion_started = time.perf_counter()
-        onion = solve_onion(onion_jobs, self.capacity,
-                            tolerance=self.tolerance, horizon=horizon,
-                            warm_start=warm_start, budget_deadline=deadline)
-        stats.onion_seconds = time.perf_counter() - onion_started
-        stats.peels = onion.layers
-        stats.feasibility_checks = onion.feasibility_checks
-
-        if deadline is not None and time.perf_counter() > deadline:
-            raise SolverBudgetError(
-                "planning round exceeded its time budget before the "
-                "mapping stage")
-        mapping_started = time.perf_counter()
-        mapping_jobs = []
-        for job in jobs:
-            target = onion.targets[job.job_id].target_completion
-            runtime = job.estimate.container_runtime
-            # Tie-break equal targets by the utility recoverable from
-            # finishing one task-runtime earlier, so a salvageable late job
-            # is packed ahead of a completion-time-insensitive one.
-            earlier = max(target - runtime, 0.0)
-            recoverable = (job.utility.value(job.elapsed + earlier)
-                           - job.utility.value(job.elapsed + target))
-            mapping_jobs.append(MappingJob(
-                job_id=job.job_id, demand=etas[job.job_id], runtime=runtime,
-                target_completion=target, tie_break=recoverable))
-        container_plan = map_time_slots(mapping_jobs, self.capacity)
-        stats.mapping_seconds = time.perf_counter() - mapping_started
-
-        job_plans: Dict[str, JobPlan] = {}
-        for job in jobs:
-            target = onion.targets[job.job_id]
-            job_plans[job.job_id] = JobPlan(
-                job_id=job.job_id,
-                robust_demand=etas[job.job_id],
-                reference_demand=refs[job.job_id],
-                target_completion=target.target_completion,
-                planned_completion=container_plan.completion(job.job_id),
-                predicted_utility=target.utility_value,
-                achievable=target.achievable,
-                layer=target.layer,
-                wcde_iterations=iters[job.job_id])
-
-        return SchedulePlan(
-            jobs=job_plans, container_plan=container_plan, theta=self.theta,
-            horizon=onion.horizon, layers=onion.layers,
-            feasibility_checks=onion.feasibility_checks,
-            solve_seconds=time.perf_counter() - started,
-            stats=stats, onion_hints=onion.hints,
-            _order=list(ids), _presolved=presolved_out)
+            plan = SchedulePlan(
+                jobs=job_plans, container_plan=container_plan, theta=self.theta,
+                horizon=onion.horizon, layers=onion.layers,
+                feasibility_checks=onion.feasibility_checks,
+                solve_seconds=time.perf_counter() - started,
+                stats=stats, onion_hints=onion.hints,
+                _order=list(ids), _presolved=presolved_out)
+            span.note(layers=onion.layers,
+                      feasibility_checks=onion.feasibility_checks,
+                      presolved=stats.wcde_presolved)
+        _note_plan(stats)
+        return plan
 
 
 @dataclass

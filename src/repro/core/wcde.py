@@ -43,12 +43,48 @@ from repro.errors import ConfigurationError
 from repro.core.rem import (rem_min_kl_from_cdf, rem_min_kl_from_cdf_array,
                             solve_rem)
 from repro.estimation.pmf import Pmf
+from repro.obs import get_metrics, get_tracer
 
 __all__ = ["WcdeResult", "WcdeCache", "solve_wcde", "worst_case_demand"]
 
 #: Candidate ranges at most this wide skip the bisection loop and are
 #: swept with one vectorized REM evaluation over the cached CDF.
 _SCAN_WIDTH = 64
+
+#: Histogram buckets for bisection steps per solve (a range sweep is 1).
+_ITER_BUCKETS = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+
+
+def _note_solve(iterations: int) -> None:
+    """Record one completed WCDE solve in the metrics registry."""
+    metrics = get_metrics()
+    if metrics.active:
+        metrics.counter("rush_wcde_solves_total",
+                        help="WCDE robust-quantile solves").inc()
+        metrics.histogram("rush_wcde_iterations", buckets=_ITER_BUCKETS,
+                          help="Bisection steps per WCDE solve",
+                          unit="iterations").observe(iterations)
+
+
+def _note_cache_outcome(outcome: str, theta: float, delta: float) -> None:
+    """Record one :class:`WcdeCache` lookup (``outcome``: hit | miss).
+
+    Hits are the steady-state hot path (one per job per warm replan), so
+    they only bump the aggregate counter; a per-hit trace event would put
+    span construction inside the planner's inner loop and blow the
+    benchmark's observability-overhead gate.  Misses are rare (cold cache
+    or churned estimate) and carry diagnostic value, so they also emit a
+    zero-width trace event.
+    """
+    metrics = get_metrics()
+    if metrics.active:
+        metrics.counter("rush_wcde_cache_total",
+                        help="WcdeCache lookups by outcome",
+                        labels=("outcome",)).labels(outcome).inc()
+    if outcome == "miss":
+        tracer = get_tracer()
+        if tracer.active:
+            tracer.event("wcde.cache_miss", theta=theta, delta=delta)
 
 
 class WcdeResult:
@@ -140,56 +176,61 @@ def solve_wcde(reference: Pmf, theta: float, delta: float, *,
     if delta < 0.0 or math.isnan(delta):
         raise ConfigurationError(f"delta={delta} must be >= 0")
 
-    anchor = reference.quantile(theta)
-    ceiling = reference.support_max()
+    with get_tracer().span("wcde.solve", theta=theta, delta=delta) as span:
+        anchor = reference.quantile(theta)
+        ceiling = reference.support_max()
 
-    # Exact semantics: the adversary's quantile exceeds a bin L iff it can
-    # push CDF(L) strictly below theta, which costs (arbitrarily close to)
-    # the REM value g(L) whenever the reference keeps some mass above L.
-    # Hence eta = 1 + max{ L < support_max : g(L) <= delta }, clamped to
-    # at least the reference quantile.  Two boundary regimes short-circuit:
-    # theta = 1 demands covering the whole support, and delta = 0 leaves
-    # the adversary no room at all (strict improvement has positive cost).
-    if theta >= 1.0:
-        eta = ceiling
-        iterations = 0
-    # rushlint: disable=RL003 (exact-zero sentinel: delta=0 means the
-    # adversary has literally no KL budget; any positive delta, however
-    # small, must take the search path)
-    elif delta == 0.0 or anchor >= ceiling:
-        eta = anchor
-        iterations = 0
-    else:
-        cdf = reference.cdf()
-        low = anchor - 1      # CDF(anchor - 1) < theta, so g = 0: feasible
-        high = ceiling        # g(support_max) = inf: infeasible
-        if high - low <= _SCAN_WIDTH:
-            # One vectorized REM sweep over the whole candidate range:
-            # feasibility is a prefix property (g is non-decreasing), so
-            # the last feasible level is the bisection's fixed point.
-            g = rem_min_kl_from_cdf_array(cdf[low + 1: high], theta)
-            feasible = np.nonzero(g <= delta + 1e-12)[0]
-            low = low + 1 + int(feasible[-1]) if feasible.size else low
-            iterations = 1
-        else:
-            def feasible_at(level: int) -> bool:
-                return rem_min_kl_from_cdf(float(cdf[level]), theta) <= delta + 1e-12
-
+        # Exact semantics: the adversary's quantile exceeds a bin L iff it
+        # can push CDF(L) strictly below theta, which costs (arbitrarily
+        # close to) the REM value g(L) whenever the reference keeps some
+        # mass above L.  Hence eta = 1 + max{ L < support_max : g(L) <=
+        # delta }, clamped to at least the reference quantile.  Two
+        # boundary regimes short-circuit: theta = 1 demands covering the
+        # whole support, and delta = 0 leaves the adversary no room at all
+        # (strict improvement has positive cost).
+        if theta >= 1.0:
+            eta = ceiling
             iterations = 0
-            while high - low > 1:
-                mid = (low + high) // 2
-                iterations += 1
-                if feasible_at(mid):
-                    low = mid
-                else:
-                    high = mid
-        eta = max(low + 1, anchor)
+        # rushlint: disable=RL003 (exact-zero sentinel: delta=0 means the
+        # adversary has literally no KL budget; any positive delta, however
+        # small, must take the search path)
+        elif delta == 0.0 or anchor >= ceiling:
+            eta = anchor
+            iterations = 0
+        else:
+            cdf = reference.cdf()
+            low = anchor - 1    # CDF(anchor - 1) < theta, so g = 0: feasible
+            high = ceiling      # g(support_max) = inf: infeasible
+            if high - low <= _SCAN_WIDTH:
+                # One vectorized REM sweep over the whole candidate range:
+                # feasibility is a prefix property (g is non-decreasing), so
+                # the last feasible level is the bisection's fixed point.
+                g = rem_min_kl_from_cdf_array(cdf[low + 1: high], theta)
+                feasible = np.nonzero(g <= delta + 1e-12)[0]
+                low = low + 1 + int(feasible[-1]) if feasible.size else low
+                iterations = 1
+            else:
+                def feasible_at(level: int) -> bool:
+                    return (rem_min_kl_from_cdf(float(cdf[level]), theta)
+                            <= delta + 1e-12)
 
-    result = WcdeResult(eta_bin=eta, reference_quantile=anchor,
-                        iterations=iterations, reference=reference,
-                        theta=theta)
-    if need_worst_pmf:
-        result._materialize()
+                iterations = 0
+                while high - low > 1:
+                    mid = (low + high) // 2
+                    iterations += 1
+                    if feasible_at(mid):
+                        low = mid
+                    else:
+                        high = mid
+            eta = max(low + 1, anchor)
+
+        result = WcdeResult(eta_bin=eta, reference_quantile=anchor,
+                            iterations=iterations, reference=reference,
+                            theta=theta)
+        if need_worst_pmf:
+            result._materialize()
+        span.note(eta_bin=eta, anchor=anchor, iterations=iterations)
+    _note_solve(iterations)
     return result
 
 
@@ -239,8 +280,10 @@ class WcdeCache:
         if entry is not None:
             self.hits += 1
             self._entries.move_to_end(key)
+            _note_cache_outcome("hit", theta, delta)
             return entry
         self.misses += 1
+        _note_cache_outcome("miss", theta, delta)
         entry = solve_wcde(reference, theta, delta, need_worst_pmf=False)
         self._entries[key] = entry
         if len(self._entries) > self.maxsize:

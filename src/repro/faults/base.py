@@ -37,6 +37,8 @@ from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
 
 import numpy as np
 
+from repro.obs import get_metrics
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.job import SimJob
     from repro.cluster.simulator import ClusterSimulator
@@ -81,6 +83,12 @@ class FaultLog:
                **detail: object) -> FaultEvent:
         event = FaultEvent(slot=slot, kind=kind, target=target, detail=detail)
         self._events.append(event)
+        metrics = get_metrics()
+        if metrics.active:
+            metrics.counter("rush_fault_injections_total",
+                            help="Fault-log events by species (includes "
+                                 "degradation:* fallback records)",
+                            labels=("kind",)).labels(kind).inc()
         return event
 
     @property

@@ -19,7 +19,7 @@ __all__ = ["LintConfig", "DETERMINISTIC_PACKAGES", "ANNOTATION_PACKAGES"]
 #: Sub-packages of ``repro`` whose behaviour must be a pure function of
 #: (inputs, seed): no wall clocks, no unseeded randomness.
 DETERMINISTIC_PACKAGES: FrozenSet[str] = frozenset(
-    {"core", "cluster", "faults", "workload"})
+    {"core", "cluster", "faults", "workload", "obs"})
 
 #: Sub-packages whose public API must be fully type-annotated (RL007) —
 #: the same set ``mypy --strict`` gates in CI.

@@ -1,4 +1,4 @@
-"""The rushlint domain rules, RL001–RL008.
+"""The rushlint domain rules, RL001–RL009.
 
 Each rule mechanizes one invariant that RUSH's guarantees (Theorems 1–3
 of the paper) lean on but the type system cannot express.  The catalog
@@ -28,6 +28,7 @@ __all__ = [
     "SolverExceptionRule",
     "PublicAnnotationRule",
     "BenchmarkDeterminismRule",
+    "ObsClockFreeRule",
 ]
 
 #: ``numpy.random`` attributes that construct *seedable* generators and
@@ -629,3 +630,51 @@ class BenchmarkDeterminismRule(Rule):
                     "stdlib random draws from hidden global state; use "
                     "a seeded np.random.Generator")
         yield from _wall_clock_findings(self, ctx)
+
+
+@register_rule
+class ObsClockFreeRule(Rule):
+    """RL009 — the observability package imports no clock at all.
+
+    ``repro.obs`` timestamps spans with the simulator's *slot* counter
+    and orders them with a monotonic sequence number, which is what makes
+    traces and metric snapshots byte-identical across same-seed runs and
+    therefore golden-file testable.  RL002 would already ban the wall
+    clock but still admits ``time.perf_counter`` for solver budgets; the
+    observability layer has no budgets, so here *any* ``time`` or
+    ``datetime`` import (module or from-import, including monotonic
+    clocks) is a violation.  Real timestamps, if a deployment wants
+    them, belong in the exporter consuming the JSONL — outside this
+    package.
+    """
+
+    rule_id = "RL009"
+    name = "obs-clock-free"
+    rationale = ("slot-indexed, sequence-ordered telemetry is what makes "
+                 "traces replayable and golden-testable; any clock "
+                 "import re-introduces wall time")
+
+    _BANNED = frozenset({"time", "datetime"})
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.package != "obs":
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in self._BANNED:
+                        yield self.finding(
+                            ctx, node,
+                            f"import of {alias.name} in repro.obs; "
+                            "telemetry is slot-indexed — no clock "
+                            "module may be imported here")
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                root = (node.module or "").split(".")[0]
+                if root in self._BANNED:
+                    names = ", ".join(a.name for a in node.names)
+                    yield self.finding(
+                        ctx, node,
+                        f"from {node.module} import {names} in "
+                        "repro.obs; telemetry is slot-indexed — no "
+                        "clock module may be imported here")

@@ -1,0 +1,125 @@
+"""Predicted-vs-actual completion-time ledger.
+
+PCS-style accountability for the planner: every time RUSH commits to a
+plan it promises each job a θ-percentile completion slot; the ledger
+records that promise (:meth:`CompletionLedger.predict`) and, when the
+simulator later retires the job, the realized completion slot
+(:meth:`CompletionLedger.realize`).  ``repro.analysis.calibration``
+turns the ledger into a calibration report: if the θ=0.9 predictions
+cover fewer than ~90% of realized completions, the estimator or the
+robustness margin is miscalibrated.
+
+Both the *first* prediction (made at admission, before any task samples
+arrive) and the *last* prediction (the freshest replan) are kept — the
+gap between their errors measures how much online estimation helps.
+
+All times are simulation slots; this package never reads a clock
+(lint rule RL009).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["LedgerEntry", "CompletionLedger", "NullLedger", "NULL_LEDGER"]
+
+
+@dataclass
+class LedgerEntry:
+    """One job's promise/outcome record (mutable while the run proceeds)."""
+
+    job_id: str
+    theta: float
+    first_plan_slot: int
+    first_predicted: float
+    last_plan_slot: int = 0
+    last_predicted: float = 0.0
+    predictions: int = 0
+    actual: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "theta": self.theta,
+            "first_plan_slot": self.first_plan_slot,
+            "first_predicted": self.first_predicted,
+            "last_plan_slot": self.last_plan_slot,
+            "last_predicted": self.last_predicted,
+            "predictions": self.predictions,
+            "actual": self.actual,
+        }
+
+
+@dataclass
+class CompletionLedger:
+    """Accumulates per-job predictions and realized completions."""
+
+    active: bool = True
+    _entries: Dict[str, LedgerEntry] = field(default_factory=dict)
+
+    def predict(self, job_id: str, plan_slot: int, predicted_completion: float,
+                theta: float) -> None:
+        """Record a θ-percentile completion promise made at ``plan_slot``.
+
+        Predictions arriving after the job already realized are ignored —
+        they would be bookkeeping artifacts of a replan racing the final
+        task, not real promises.
+        """
+        entry = self._entries.get(job_id)
+        if entry is None:
+            entry = LedgerEntry(
+                job_id=job_id, theta=float(theta),
+                first_plan_slot=int(plan_slot),
+                first_predicted=float(predicted_completion))
+            self._entries[job_id] = entry
+        elif entry.actual is not None:
+            return
+        entry.last_plan_slot = int(plan_slot)
+        entry.last_predicted = float(predicted_completion)
+        entry.predictions += 1
+
+    def realize(self, job_id: str, completion_slot: int) -> None:
+        """Record the realized completion; unknown jobs are ignored.
+
+        (A job can complete without ever being planned — e.g. under a
+        non-planning policy — in which case there is no promise to score.)
+        """
+        entry = self._entries.get(job_id)
+        if entry is not None and entry.actual is None:
+            entry.actual = int(completion_slot)
+
+    def entries(self) -> List[LedgerEntry]:
+        """Entries in first-prediction order (a copy of the references)."""
+        return list(self._entries.values())
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [e.to_dict() for e in self.entries()]
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+class NullLedger:
+    """No-op ledger installed by default."""
+
+    active: bool = False
+
+    def predict(self, job_id: str, plan_slot: int, predicted_completion: float,
+                theta: float) -> None:
+        return None
+
+    def realize(self, job_id: str, completion_slot: int) -> None:
+        return None
+
+    def entries(self) -> List[LedgerEntry]:
+        return []
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return []
+
+    def clear(self) -> None:
+        return None
+
+
+NULL_LEDGER = NullLedger()

@@ -1,0 +1,377 @@
+"""Counters, gauges, and fixed-bucket histograms for the RUSH pipeline.
+
+A deliberately small, dependency-free metrics substrate: metrics are
+registered lazily (get-or-create by name), labels are positional tuples
+declared up front, and a :meth:`MetricsRegistry.snapshot` is a plain
+sorted dict — byte-identical across two same-seed runs, which is what
+the golden-file tests compare.
+
+Histograms use *fixed* bucket upper bounds chosen at registration; there
+is no adaptive resizing, so bucket counts are reproducible and the sum
+of bucket counts always equals the observation count (a tested
+invariant).  Rendering follows the Prometheus text exposition format
+(``# HELP`` / ``# TYPE`` / ``name{label="v"} value``) closely enough to
+scrape, without depending on ``prometheus_client``.
+
+Like the tracer, this module never reads a clock (lint rule RL009):
+rates and latencies are expressed in solver iterations and simulation
+slots, not seconds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "NullMetrics", "NULL_METRICS"]
+
+_LabelKey = Tuple[str, ...]
+
+
+def _format_value(value: float) -> str:
+    """Prometheus-style number: integral floats print without ``.0``."""
+    as_int = int(value)
+    if float(as_int) == value:  # rushlint: disable=RL003 (exact integrality test on our own accumulator)
+        return str(as_int)
+    return repr(value)
+
+
+class _Metric:
+    """Shared bookkeeping: name, label schema, per-labelset storage."""
+
+    kind: str = ""
+
+    def __init__(self, name: str, help: str = "", unit: str = "",
+                 label_names: Sequence[str] = ()) -> None:
+        self.name = name
+        self.help = help
+        self.unit = unit
+        self.label_names = tuple(label_names)
+
+    def _key(self, label_values: Tuple[str, ...]) -> _LabelKey:
+        if len(label_values) != len(self.label_names):
+            raise ConfigurationError(
+                f"metric {self.name} expects {len(self.label_names)} "
+                f"label value(s) {self.label_names}, got {label_values!r}")
+        return tuple(str(v) for v in label_values)
+
+    def _label_suffix(self, key: _LabelKey) -> str:
+        if not key:
+            return ""
+        pairs = ", ".join(f'{name}="{value}"'
+                          for name, value in zip(self.label_names, key))
+        return "{" + pairs + "}"
+
+
+class Counter(_Metric):
+    """Monotonically increasing count (events, solves, cache hits)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", unit: str = "",
+                 label_names: Sequence[str] = ()) -> None:
+        super().__init__(name, help, unit, label_names)
+        self._values: Dict[_LabelKey, float] = {}
+
+    def labels(self, *label_values: str) -> "_BoundCounter":
+        return _BoundCounter(self, self._key(tuple(label_values)))
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increment the unlabeled series (labelled metrics use .labels())."""
+        self._inc((), amount)
+
+    def _inc(self, key: _LabelKey, amount: float) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name} cannot decrease (amount={amount})")
+        key = self._key(key) if key else self._key(())
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, *label_values: str) -> float:
+        return self._values.get(self._key(tuple(label_values)), 0.0)
+
+    def snapshot_values(self) -> List[List[Any]]:
+        return [[list(k), v] for k, v in sorted(self._values.items())]
+
+    def render(self) -> List[str]:
+        return [f"{self.name}{self._label_suffix(k)} {_format_value(v)}"
+                for k, v in sorted(self._values.items())]
+
+
+class _BoundCounter:
+    __slots__ = ("_metric", "_label_key")
+
+    def __init__(self, metric: Counter, label_key: _LabelKey) -> None:
+        self._metric = metric
+        self._label_key = label_key
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._metric._inc(self._label_key, amount)
+
+
+class Gauge(_Metric):
+    """A value that goes up and down (queue depth, busy containers)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", unit: str = "",
+                 label_names: Sequence[str] = ()) -> None:
+        super().__init__(name, help, unit, label_names)
+        self._values: Dict[_LabelKey, float] = {}
+
+    def labels(self, *label_values: str) -> "_BoundGauge":
+        return _BoundGauge(self, self._key(tuple(label_values)))
+
+    def set(self, value: float) -> None:
+        self._set((), value)
+
+    def _set(self, key: _LabelKey, value: float) -> None:
+        self._values[self._key(key) if key else self._key(())] = float(value)
+
+    def value(self, *label_values: str) -> float:
+        return self._values.get(self._key(tuple(label_values)), 0.0)
+
+    def snapshot_values(self) -> List[List[Any]]:
+        return [[list(k), v] for k, v in sorted(self._values.items())]
+
+    def render(self) -> List[str]:
+        return [f"{self.name}{self._label_suffix(k)} {_format_value(v)}"
+                for k, v in sorted(self._values.items())]
+
+
+class _BoundGauge:
+    __slots__ = ("_metric", "_label_key")
+
+    def __init__(self, metric: Gauge, label_key: _LabelKey) -> None:
+        self._metric = metric
+        self._label_key = label_key
+
+    def set(self, value: float) -> None:
+        self._metric._set(self._label_key, value)
+
+
+class _HistogramState:
+    __slots__ = ("bucket_counts", "total", "count")
+
+    def __init__(self, n_buckets: int) -> None:
+        # one slot per finite bound plus the implicit +Inf overflow
+        self.bucket_counts = [0] * (n_buckets + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float, bounds: Tuple[float, ...]) -> None:
+        idx = len(bounds)
+        for i, bound in enumerate(bounds):
+            if value <= bound:
+                idx = i
+                break
+        self.bucket_counts[idx] += 1
+        self.total += float(value)
+        self.count += 1
+
+
+class Histogram(_Metric):
+    """Fixed-bucket histogram; bounds are upper-inclusive, +Inf implicit."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, buckets: Sequence[float], help: str = "",
+                 unit: str = "", label_names: Sequence[str] = ()) -> None:
+        super().__init__(name, help, unit, label_names)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ConfigurationError(
+                f"histogram {self.name} needs strictly increasing, "
+                f"non-empty buckets, got {buckets!r}")
+        self.buckets = bounds
+        self._states: Dict[_LabelKey, _HistogramState] = {}
+
+    def labels(self, *label_values: str) -> "_BoundHistogram":
+        return _BoundHistogram(self, self._key(tuple(label_values)))
+
+    def observe(self, value: float) -> None:
+        self._observe((), value)
+
+    def _observe(self, key: _LabelKey, value: float) -> None:
+        full_key = self._key(key) if key else self._key(())
+        state = self._states.get(full_key)
+        if state is None:
+            state = self._states[full_key] = _HistogramState(len(self.buckets))
+        state.observe(float(value), self.buckets)
+
+    def state(self, *label_values: str) -> Optional[_HistogramState]:
+        return self._states.get(self._key(tuple(label_values)))
+
+    def snapshot_values(self) -> List[List[Any]]:
+        out: List[List[Any]] = []
+        for key, state in sorted(self._states.items()):
+            out.append([list(key), {
+                "buckets": list(state.bucket_counts),
+                "bounds": list(self.buckets),
+                "sum": state.total,
+                "count": state.count,
+            }])
+        return out
+
+    def render(self) -> List[str]:
+        lines: List[str] = []
+        for key, state in sorted(self._states.items()):
+            cumulative = 0
+            for bound, n in zip(self.buckets, state.bucket_counts):
+                cumulative += n
+                suffix = self._bucket_suffix(key, _format_value(bound))
+                lines.append(f"{self.name}_bucket{suffix} {cumulative}")
+            cumulative += state.bucket_counts[-1]
+            lines.append(
+                f"{self.name}_bucket{self._bucket_suffix(key, '+Inf')} "
+                f"{cumulative}")
+            plain = self._label_suffix(key)
+            lines.append(f"{self.name}_sum{plain} {_format_value(state.total)}")
+            lines.append(f"{self.name}_count{plain} {state.count}")
+        return lines
+
+    def _bucket_suffix(self, key: _LabelKey, le: str) -> str:
+        pairs = [f'{name}="{value}"'
+                 for name, value in zip(self.label_names, key)]
+        pairs.append(f'le="{le}"')
+        return "{" + ", ".join(pairs) + "}"
+
+
+class _BoundHistogram:
+    __slots__ = ("_metric", "_label_key")
+
+    def __init__(self, metric: Histogram, label_key: _LabelKey) -> None:
+        self._metric = metric
+        self._label_key = label_key
+
+    def observe(self, value: float) -> None:
+        self._metric._observe(self._label_key, value)
+
+
+class MetricsRegistry:
+    """Get-or-create metric store with deterministic snapshots."""
+
+    active: bool = True
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls: type, name: str, **kwargs: Any) -> _Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ConfigurationError(
+                    f"metric {name} already registered as {existing.kind}")
+            return existing
+        metric = cls(name, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "", unit: str = "",
+                labels: Sequence[str] = ()) -> Counter:
+        metric = self._get_or_create(Counter, name, help=help, unit=unit,
+                                     label_names=labels)
+        assert isinstance(metric, Counter)
+        return metric
+
+    def gauge(self, name: str, help: str = "", unit: str = "",
+              labels: Sequence[str] = ()) -> Gauge:
+        metric = self._get_or_create(Gauge, name, help=help, unit=unit,
+                                     label_names=labels)
+        assert isinstance(metric, Gauge)
+        return metric
+
+    def histogram(self, name: str, buckets: Sequence[float], help: str = "",
+                  unit: str = "", labels: Sequence[str] = ()) -> Histogram:
+        metric = self._get_or_create(Histogram, name, buckets=buckets,
+                                     help=help, unit=unit, label_names=labels)
+        assert isinstance(metric, Histogram)
+        return metric
+
+    def metrics(self) -> List[_Metric]:
+        """Registered metrics sorted by name."""
+        return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Deterministic, JSON-ready dump of every registered metric."""
+        out: Dict[str, Any] = {}
+        for metric in self.metrics():
+            out[metric.name] = {
+                "type": metric.kind,
+                "help": metric.help,
+                "unit": metric.unit,
+                "labels": list(metric.label_names),
+                "values": metric.snapshot_values(),
+            }
+        return out
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition of the whole registry."""
+        lines: List[str] = []
+        for metric in self.metrics():
+            help_text = metric.help
+            if metric.unit:
+                help_text = (f"{help_text} [{metric.unit}]" if help_text
+                             else f"[{metric.unit}]")
+            if help_text:
+                lines.append(f"# HELP {metric.name} {help_text}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            lines.extend(metric.render())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def clear(self) -> None:
+        self._metrics.clear()
+
+
+class _NullBound:
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        return None
+
+    def set(self, value: float) -> None:
+        return None
+
+    def observe(self, value: float) -> None:
+        return None
+
+    def labels(self, *label_values: str) -> "_NullBound":
+        return self
+
+
+_NULL_BOUND = _NullBound()
+
+
+class NullMetrics:
+    """No-op registry installed by default; every path costs one call."""
+
+    active: bool = False
+
+    def counter(self, name: str, help: str = "", unit: str = "",
+                labels: Sequence[str] = ()) -> _NullBound:
+        return _NULL_BOUND
+
+    def gauge(self, name: str, help: str = "", unit: str = "",
+              labels: Sequence[str] = ()) -> _NullBound:
+        return _NULL_BOUND
+
+    def histogram(self, name: str, buckets: Sequence[float], help: str = "",
+                  unit: str = "", labels: Sequence[str] = ()) -> _NullBound:
+        return _NULL_BOUND
+
+    def metrics(self) -> List[_Metric]:
+        return []
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {}
+
+    def render_prometheus(self) -> str:
+        return ""
+
+    def clear(self) -> None:
+        return None
+
+
+NULL_METRICS = NullMetrics()

@@ -1,0 +1,239 @@
+"""Deterministic, slot-indexed span tracing.
+
+The tracer answers "what did the solver do, in what order, nested how?"
+without ever consulting a clock.  Ordering comes from a single monotonic
+sequence counter shared by span opens, span closes, and point events;
+"when" comes from the simulation slot the caller advances via
+:meth:`SpanTracer.set_slot`.  Two runs with the same seed therefore
+produce byte-identical traces — the property the golden-file tests pin.
+
+Spans nest via an explicit stack: :meth:`SpanTracer.span` opens a child
+of the innermost open span and is used as a context manager, so Python's
+``with`` unwinding keeps the tree well-nested even when a solver raises
+mid-span (the exception type is noted on the span payload before it
+closes).
+
+No ``time``/``datetime`` import appears anywhere in this package — that
+is lint rule RL009, not just style: wall-clock values in a trace would
+break replay determinism and the cold/incremental equivalence tests that
+diff traces across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Union
+
+__all__ = ["Span", "SpanTracer", "NullTracer", "NULL_TRACER", "json_safe"]
+
+_Payload = Dict[str, Any]
+
+
+def json_safe(value: Any) -> Union[None, bool, int, float, str, list, dict]:
+    """Coerce a payload value to something ``json.dumps`` handles.
+
+    numpy scalars expose ``item()``; containers recurse (dict keys are
+    stringified); anything else falls back to ``str`` so a stray object
+    can never poison a trace.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return json_safe(item())
+        except (TypeError, ValueError):
+            pass
+    if isinstance(value, (list, tuple)):
+        return [json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): json_safe(v) for k, v in value.items()}
+    return str(value)
+
+
+class Span:
+    """One traced region: open/close sequence numbers plus a payload.
+
+    ``seq`` is assigned at open, ``end_seq`` at close; both come from the
+    tracer's single counter, so for any two spans A and B either their
+    ``[seq, end_seq]`` intervals nest or they are disjoint (well-nested
+    trees — a tested invariant).  ``slot``/``end_slot`` record the
+    simulation slot at open/close time.
+    """
+
+    __slots__ = ("name", "seq", "end_seq", "slot", "end_slot", "depth",
+                 "parent_seq", "payload", "_tracer")
+
+    def __init__(self, tracer: "SpanTracer", name: str, seq: int, slot: int,
+                 depth: int, parent_seq: Optional[int],
+                 payload: _Payload) -> None:
+        self.name = name
+        self.seq = seq
+        self.end_seq: Optional[int] = None
+        self.slot = slot
+        self.end_slot: Optional[int] = None
+        self.depth = depth
+        self.parent_seq = parent_seq
+        self.payload = payload
+        self._tracer = tracer
+
+    @property
+    def closed(self) -> bool:
+        return self.end_seq is not None
+
+    def note(self, **payload: Any) -> "Span":
+        """Attach extra payload fields; chainable inside a ``with`` body."""
+        self.payload.update(payload)
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        if exc_type is not None:
+            self.payload.setdefault("error", exc_type.__name__)
+        self._tracer._close(self)
+        return False
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready record; keys are stable and payload values coerced."""
+        return {
+            "name": self.name,
+            "seq": self.seq,
+            "end_seq": self.end_seq,
+            "slot": self.slot,
+            "end_slot": self.end_slot,
+            "depth": self.depth,
+            "parent_seq": self.parent_seq,
+            "payload": {k: json_safe(v)
+                        for k, v in sorted(self.payload.items())},
+        }
+
+
+class SpanTracer:
+    """Collects spans in document order with a monotonic sequence counter."""
+
+    active: bool = True
+
+    def __init__(self) -> None:
+        self._seq = 0
+        self._slot = 0
+        self._stack: List[Span] = []
+        self._spans: List[Span] = []
+
+    # -- time base --------------------------------------------------------
+
+    @property
+    def slot(self) -> int:
+        return self._slot
+
+    def set_slot(self, slot: int) -> None:
+        """Advance the slot-indexed time base (the simulator drives this)."""
+        self._slot = int(slot)
+
+    # -- recording --------------------------------------------------------
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def span(self, name: str, **payload: Any) -> Span:
+        """Open a span nested under the innermost open span."""
+        # ``payload`` is the fresh per-call kwargs dict, so the Span can
+        # own it directly — no defensive copy on the hot path.
+        parent = self._stack[-1] if self._stack else None
+        span = Span(self, name, self._next_seq(), self._slot,
+                    depth=len(self._stack),
+                    parent_seq=None if parent is None else parent.seq,
+                    payload=payload)
+        self._spans.append(span)
+        self._stack.append(span)
+        return span
+
+    def _close(self, span: Span) -> None:
+        if span.closed:
+            return
+        # ``with`` unwinding closes children before parents; pop every
+        # still-open descendant first so the tree stays well-nested even
+        # if a caller forgot a context manager somewhere below.
+        while self._stack and self._stack[-1] is not span:
+            self._stack.pop().end_seq = self._seq
+        if self._stack:
+            self._stack.pop()
+        span.end_seq = self._next_seq()
+        span.end_slot = self._slot
+
+    def event(self, name: str, **payload: Any) -> Span:
+        """A point event: a zero-width span (``end_seq == seq``)."""
+        seq = self._seq = self._seq + 1
+        stack = self._stack
+        span = Span(self, name, seq, self._slot,
+                    depth=len(stack),
+                    parent_seq=stack[-1].seq if stack else None,
+                    payload=payload)
+        span.end_seq = seq
+        span.end_slot = span.slot
+        self._spans.append(span)
+        return span
+
+    # -- inspection -------------------------------------------------------
+
+    @property
+    def spans(self) -> List[Span]:
+        """All recorded spans in open order (a copy)."""
+        return list(self._spans)
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [s.to_dict() for s in self._spans]
+
+    def clear(self) -> None:
+        self._seq = 0
+        self._slot = 0
+        self._stack.clear()
+        self._spans.clear()
+
+
+class _NullSpan:
+    """Inert stand-in returned by :class:`NullTracer`; safe to note/exit."""
+
+    __slots__ = ()
+
+    def note(self, **payload: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """No-op tracer installed by default; instrumentation costs one call."""
+
+    active: bool = False
+    slot: int = 0
+
+    def set_slot(self, slot: int) -> None:
+        return None
+
+    def span(self, name: str, **payload: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, **payload: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    @property
+    def spans(self) -> List[Span]:
+        return []
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return []
+
+    def clear(self) -> None:
+        return None
+
+
+NULL_TRACER = NullTracer()

@@ -54,10 +54,14 @@ from repro.core.planner import (IncrementalPlanner, PlannerJob, RushPlanner,
 from repro.errors import SolverBudgetError
 from repro.estimation.base import DemandEstimate, DistributionEstimator
 from repro.estimation.gaussian import GaussianEstimator
+from repro.obs import get_ledger, get_metrics
 from repro.schedulers.base import Scheduler
 from repro.schedulers.edf import edf_key
 
 __all__ = ["RushScheduler"]
+
+#: Histogram buckets for estimates refreshed (dirty jobs) per round.
+_DIRTY_BUCKETS = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
 
 EstimatorFactory = Callable[[Optional[float]], DistributionEstimator]
 
@@ -334,6 +338,7 @@ class RushScheduler(Scheduler):
         if self._plan_epoch == epoch:
             return self._plan  # may be None: greedy-EDF mode for this epoch
         now = self.sim.now
+        refreshed_before = self.estimates_refreshed
         planner_jobs = []
         for job in self.sim.active_jobs:
             estimate = self._job_estimate(job)
@@ -385,6 +390,25 @@ class RushScheduler(Scheduler):
             self._stage_seconds["mapping"] += plan.stats.mapping_seconds
             self._feasibility_checks += plan.stats.feasibility_checks
             self._peels += plan.stats.peels
+            self._note_plan_obs(now, plan,
+                                self.estimates_refreshed - refreshed_before)
         self._plan = plan
         self._plan_epoch = epoch
         return plan
+
+    def _note_plan_obs(self, now: int, plan: SchedulePlan, dirty: int) -> None:
+        """Feed the scheduler-level metrics and the completion ledger.
+
+        Only called for *fresh* plans: a reused ``last_good`` plan made no
+        new promises and refreshed no estimates, so it records nothing.
+        """
+        metrics = get_metrics()
+        if metrics.active:
+            metrics.histogram("rush_sched_dirty_jobs", buckets=_DIRTY_BUCKETS,
+                              help="Estimates refreshed per planning round",
+                              unit="jobs").observe(dirty)
+        ledger = get_ledger()
+        if ledger.active:
+            for job_id, job_plan in plan.jobs.items():
+                ledger.predict(job_id, now,
+                               now + job_plan.planned_completion, self._theta)

@@ -5,7 +5,28 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.estimation.pmf import Pmf
+from repro.lint.framework import RULE_REGISTRY
+
+
+@pytest.fixture(autouse=True)
+def _isolate_global_registries():
+    """Keep process-wide registries from leaking between tests.
+
+    Two mutable module-level registries exist: the rushlint rule
+    registry (tests register throwaway rules to exercise the framework)
+    and the repro.obs instrument slots (tests enable tracers/metrics to
+    exercise instrumentation).  A test that forgets to clean up would
+    silently change every later test's behaviour — e.g. a leaked live
+    MetricsRegistry makes 'disabled-path' assertions measure the enabled
+    path.  Snapshot before, restore after, unconditionally.
+    """
+    rules_before = dict(RULE_REGISTRY)
+    yield
+    RULE_REGISTRY.clear()
+    RULE_REGISTRY.update(rules_before)
+    obs.reset()
 
 
 @pytest.fixture

@@ -1,0 +1,12 @@
+"""RL009 negative: slot-indexed spans never touch a clock module."""
+
+
+class SlotSpan:
+    def __init__(self, name: str, slot: int, seq: int) -> None:
+        self.name = name
+        self.slot = slot
+        self.seq = seq
+
+    def close(self, end_slot: int, end_seq: int) -> dict:
+        return {"name": self.name, "slot": self.slot, "seq": self.seq,
+                "end_slot": end_slot, "end_seq": end_seq}

@@ -1,0 +1,9 @@
+"""RL009 positive: clock imports inside the observability package."""
+import time
+from datetime import datetime, timedelta
+
+
+def stamp_span(span: dict) -> dict:
+    span["wall"] = time.perf_counter()
+    span["at"] = datetime.now() + timedelta(seconds=1)
+    return span

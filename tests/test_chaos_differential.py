@@ -21,6 +21,10 @@ from repro.schedulers import (EdfScheduler, FifoScheduler, RrhScheduler,
                               RushScheduler)
 from repro.utility import ConstantUtility, LinearUtility, StepUtility
 
+# Differential fault sweeps simulate every policy at every intensity;
+# the fast CI lane deselects them (-m "not slow"), the full lane runs them.
+pytestmark = pytest.mark.slow
+
 POLICIES = {
     "rush": RushScheduler,
     "edf": EdfScheduler,

@@ -19,6 +19,7 @@ break the cluster's structural invariants:
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -34,6 +35,10 @@ from repro.faults import (
 )
 from repro.schedulers import FifoScheduler, RushScheduler
 from repro.utility import LinearUtility
+
+# The chaos battery runs hundreds of seeded fault-injected simulations;
+# the fast CI lane deselects it (-m "not slow"), the full lane runs it.
+pytestmark = pytest.mark.slow
 
 # ---------------------------------------------------------------------------
 # strategies

@@ -173,10 +173,17 @@ class TestWcdeCache:
         ceiling = pmf.support_max()
         cdf = pmf.cdf()
         brute = anchor
-        for level in range(ceiling - 1, anchor - 1, -1):
-            if rem_min_kl_from_cdf(float(cdf[level]), theta) <= delta + 1e-12:
-                brute = max(level + 1, anchor)
-                break
+        # The g(L) <= delta feasibility rule only holds for a positive
+        # KL budget: pushing CDF(L) *strictly* below theta costs
+        # arbitrarily close to g(L) but always more than zero, so at
+        # delta == 0 the adversary is pinned to the reference quantile
+        # even when some g(L) == 0 exactly (a CDF value tied at theta).
+        if delta > 0.0:
+            for level in range(ceiling - 1, anchor - 1, -1):
+                if (rem_min_kl_from_cdf(float(cdf[level]), theta)
+                        <= delta + 1e-12):
+                    brute = max(level + 1, anchor)
+                    break
         if theta >= 1.0:
             brute = ceiling
         assert eta == brute
@@ -255,27 +262,9 @@ class TestIncrementalEquivalence:
         warm.plan([job])
         assert warm.presolve_hits == 0 and warm.presolve_misses == 2
 
-    def test_warm_start_is_exact_on_unchanged_snapshot(self):
-        """Hint probes reconstruct the identical bracket when nothing moved."""
-        rng = np.random.default_rng(3)
-        jobs = [
-            PlannerJob(f"j{i}", SigmoidUtility(float(rng.uniform(100, 900)),
-                                               float(rng.integers(1, 6))),
-                       DemandEstimate(
-                           Pmf.from_gaussian(float(rng.uniform(20, 80)), 8.0,
-                                             tau_max=300),
-                           bin_width=1.0, container_runtime=5.0,
-                           sample_count=4),
-                       elapsed=float(rng.uniform(0, 30)))
-            for i in range(12)]
-        planner = RushPlanner(16, tolerance=0.05)
-        cold_plan = planner.plan(jobs)
-        warm = IncrementalPlanner(RushPlanner(16, tolerance=0.05),
-                                  warm_start=True)
-        warm.plan(jobs)                       # seeds hints
-        replan = warm.plan(jobs)              # unchanged snapshot
-        assert replan.stats.warm_start
-        assert plans_equal(replan, cold_plan)
+    # The single-seed warm-start-equals-cold spot check that lived here
+    # is superseded by the 20-seed sweep in test_determinism_sweep.py
+    # (test_warm_replan_equals_cold_plan).
 
 
 # ---------------------------------------------------------------------------
