@@ -19,6 +19,14 @@ Measures the live planner against the frozen pre-PR hot path
   ``repro.obs`` span tracer + metrics registry enabled versus the
   default null instruments.  Gate: enabled/disabled wall-clock ratio
   <= 1.10 (the observability layer must stay out of the hot path).
+* ``scale_sweep`` — the batch-vectorized solve pipeline at fleet scale:
+  one cold plan + one warm replan at 1k jobs (plus 5k and 10k under
+  ``RUSH_FULL_SCALE=1``; the CI bench-smoke lane runs 1k only).  The
+  legacy baseline is timed at the 1k gate scale only — at 5k+ it would
+  dominate the run for no extra information.  Gates: >= 4x cold
+  speedup vs legacy at 1k, cold == warm plans bit-identical at every
+  scale, and (at 1k) a 2-worker ``ParallelPlanner`` byte-identical to
+  the serial path.
 
 Every scenario also asserts *plan equivalence*: the incremental planner
 (memo + presolve) reproduces the live cold plan bit-identically, and the
@@ -44,6 +52,7 @@ import numpy as np
 from repro import (
     GaussianEstimator,
     IncrementalPlanner,
+    ParallelPlanner,
     PlannerJob,
     RushPlanner,
     SchedulePlan,
@@ -68,8 +77,14 @@ STEADY_ROUNDS = 10
 #: Fraction of jobs dirtied per replay round.
 DIRTY_FRACTION = 0.1
 
+#: Fleet-scale cold/warm sweep: 1k always (the gated scale); 5k and 10k
+#: only under RUSH_FULL_SCALE=1.
+SCALE_COUNTS = (1000, 5000, 10000) if FULL_SCALE else (1000,)
+SCALE_GATE_JOBS = 1000
+
 SPEEDUP_GATE_STEADY = 3.0
 SPEEDUP_GATE_COLD = 1.5
+SPEEDUP_GATE_SCALE = 4.0
 OBS_OVERHEAD_GATE = 1.10
 
 
@@ -261,11 +276,51 @@ def bench_obs_overhead() -> Dict:
     }
 
 
+def bench_scale_sweep() -> Dict:
+    """Cold + warm planning at 1k/5k/10k jobs; legacy timed at 1k only."""
+    rows = []
+    for n in SCALE_COUNTS:
+        jobs, _, _ = _make_jobs(n, seed=5)
+        # One timing rep above the gate scale: a 10k legacy-free cold
+        # solve is tens of seconds and the medians stopped moving.
+        reps = 3 if n <= SCALE_GATE_JOBS else 1
+        cold_s = _time(lambda: _live_planner().plan(jobs), rounds=reps)
+
+        planner = _live_planner()
+        incremental = IncrementalPlanner(planner, warm_start=True)
+        cold_plan = planner.plan(jobs)
+        seed_plan = incremental.plan(jobs)
+        identical = plans_equal(seed_plan, cold_plan)
+        start = time.perf_counter()
+        warm_plan = incremental.plan(jobs)
+        warm_s = time.perf_counter() - start
+        identical = identical and plans_equal(warm_plan, seed_plan)
+
+        row = {"jobs": n, "cold_seconds": cold_s, "warm_seconds": warm_s,
+               "plans_bit_identical": identical}
+        if n == SCALE_GATE_JOBS:
+            legacy_s = _time(lambda: _legacy_planner().plan(jobs),
+                             rounds=reps)
+            row["legacy_cold_seconds"] = legacy_s
+            row["cold_speedup_vs_legacy"] = legacy_s / cold_s
+            with ParallelPlanner(_live_planner(), workers=2,
+                                 warm_start=False) as parallel:
+                row["parallel_identical"] = plans_equal(
+                    parallel.plan(jobs), cold_plan)
+        rows.append(row)
+    gate_row = next(r for r in rows if r["jobs"] == SCALE_GATE_JOBS)
+    return {"counts": list(SCALE_COUNTS), "sweep": rows,
+            "gate_jobs": SCALE_GATE_JOBS,
+            "cold_speedup_at_gate": gate_row["cold_speedup_vs_legacy"],
+            "parallel_identical": gate_row["parallel_identical"]}
+
+
 def run_all() -> Dict:
     steady = bench_steady_state()
     cold = bench_fig5_cold()
     replay = bench_dirty_replay()
     overhead = bench_obs_overhead()
+    scale = bench_scale_sweep()
     payload = {
         "benchmark": "planner_incremental",
         "full_scale": FULL_SCALE,
@@ -275,11 +330,13 @@ def run_all() -> Dict:
         "tolerance": TOLERANCE,
         "gates": {"steady_state_min_speedup": SPEEDUP_GATE_STEADY,
                   "fig5_cold_min_speedup": SPEEDUP_GATE_COLD,
+                  "scale_cold_min_speedup_at_1k": SPEEDUP_GATE_SCALE,
                   "obs_max_overhead_ratio": OBS_OVERHEAD_GATE},
         "steady_state": steady,
         "fig5_cold": cold,
         "dirty_replay": replay,
         "obs_overhead": overhead,
+        "scale_sweep": scale,
     }
 
     rows = [["steady state (unchanged x%d)" % STEADY_ROUNDS,
@@ -294,16 +351,28 @@ def run_all() -> Dict:
                  replay["speedup"]])
     table = format_table(
         ["scenario", "legacy s", "live s", "speedup"], rows, digits=3)
+    scale_rows = [[
+        "%d jobs" % r["jobs"], r["cold_seconds"], r["warm_seconds"],
+        r.get("cold_speedup_vs_legacy", float("nan")),
+        "yes" if r["plans_bit_identical"] else "NO"]
+        for r in scale["sweep"]]
+    scale_table = format_table(
+        ["scale sweep", "cold s", "warm s", "vs legacy", "bit-identical"],
+        scale_rows, digits=3)
     obs_line = ("Observability overhead (trace+metrics on steady state): "
                 "%.3fs -> %.3fs, ratio %.3fx (%d spans, %d metrics)."
                 % (overhead["disabled_seconds"], overhead["enabled_seconds"],
                    overhead["overhead_ratio"], overhead["spans_recorded"],
                    overhead["metrics_registered"]))
     report = ("Incremental planning engine vs frozen pre-PR hot path\n\n"
-              + table + "\n\nGates: steady state >= %.1fx, cold sweep >= "
-              "%.1fx, obs overhead <= %.2fx.  Plans bit-identical in every "
-              "scenario checked.\n"
-              % (SPEEDUP_GATE_STEADY, SPEEDUP_GATE_COLD, OBS_OVERHEAD_GATE)
+              + table + "\n\n" + scale_table
+              + "\n\nGates: steady state >= %.1fx, cold sweep >= %.1fx, "
+              "scale sweep >= %.1fx cold at %d jobs, obs overhead <= "
+              "%.2fx.  Plans bit-identical in every scenario checked "
+              "(2-worker parallel planner included at the gate scale: %s).\n"
+              % (SPEEDUP_GATE_STEADY, SPEEDUP_GATE_COLD,
+                 SPEEDUP_GATE_SCALE, SCALE_GATE_JOBS, OBS_OVERHEAD_GATE,
+                 "identical" if scale["parallel_identical"] else "DIVERGED")
               + obs_line)
     print("\n" + report)
     write_report("planner.txt", report)
@@ -325,6 +394,15 @@ def test_incremental_planner_benchmark_gates():
             <= OBS_OVERHEAD_GATE), (
         "observability overhead %.3fx above the %.2fx gate"
         % (payload["obs_overhead"]["overhead_ratio"], OBS_OVERHEAD_GATE))
+    scale = payload["scale_sweep"]
+    assert all(r["plans_bit_identical"] for r in scale["sweep"]), (
+        "cold/warm plan divergence in the scale sweep")
+    assert scale["parallel_identical"], (
+        "2-worker ParallelPlanner diverged from the serial plan")
+    assert scale["cold_speedup_at_gate"] >= SPEEDUP_GATE_SCALE, (
+        "cold speedup %.2fx at %d jobs below the %.1fx gate"
+        % (scale["cold_speedup_at_gate"], SCALE_GATE_JOBS,
+           SPEEDUP_GATE_SCALE))
 
 
 if __name__ == "__main__":

@@ -57,11 +57,13 @@ from repro.core import (
     MappingJob,
     OnionJob,
     OnionResult,
+    ParallelPlanner,
     PlannerJob,
     PlanStats,
     PresolvedDemand,
     RushPlanner,
     SchedulePlan,
+    SqliteWcdeStore,
     WcdeCache,
     WcdeResult,
     map_time_slots,
@@ -69,6 +71,7 @@ from repro.core import (
     solve_rem,
     solve_tas_lp,
     solve_wcde,
+    solve_wcde_batch,
     worst_case_demand,
 )
 from repro import obs
@@ -150,6 +153,7 @@ __all__ = [
     # core
     "solve_rem",
     "solve_wcde",
+    "solve_wcde_batch",
     "worst_case_demand",
     "WcdeCache",
     "WcdeResult",
@@ -167,6 +171,8 @@ __all__ = [
     "SchedulePlan",
     "RushPlanner",
     "IncrementalPlanner",
+    "ParallelPlanner",
+    "SqliteWcdeStore",
     "DegradationPolicy",
     "DegradationOutcome",
     # estimation

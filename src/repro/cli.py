@@ -126,6 +126,20 @@ def build_parser() -> argparse.ArgumentParser:
                           help="track predicted-vs-actual completions "
                                "and print the calibration report "
                                "(RUSH policy only)")
+    simulate.add_argument("--parallel", type=int, default=0, metavar="N",
+                          help="shard RUSH's WCDE presolve across N "
+                               "worker processes (0 = serial; plans are "
+                               "byte-identical either way; RUSH policy "
+                               "only)")
+    simulate.add_argument("--batch", action=argparse.BooleanOptionalAction,
+                          default=True,
+                          help="vectorized batch WCDE stage (default); "
+                               "--no-batch restores the scalar per-job "
+                               "solve for A/B runs (RUSH policy only)")
+    simulate.add_argument("--wcde-store", metavar="PATH",
+                          help="sqlite file backing the parallel WCDE "
+                               "cache so solves are shared across runs "
+                               "(requires --parallel)")
 
     metrics = sub.add_parser(
         "metrics", help="run a seeded simulation with the metrics "
@@ -218,7 +232,21 @@ def _build_fault_plan(args: argparse.Namespace,
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     specs = load_trace(args.trace)
-    policy = POLICY_FACTORIES[args.policy]()
+    wants_planner_knobs = bool(args.parallel or not args.batch
+                               or args.wcde_store)
+    if wants_planner_knobs and args.policy != "rush":
+        raise ReproError(
+            "--parallel/--no-batch/--wcde-store tune the RUSH planner; "
+            f"they do nothing under --policy {args.policy}")
+    if args.wcde_store and not args.parallel:
+        raise ReproError("--wcde-store requires --parallel N")
+    if wants_planner_knobs:
+        policy = RushScheduler(parallel_workers=max(args.parallel, 0),
+                               batch_wcde=args.batch,
+                               wcde_store_path=args.wcde_store,
+                               parallel_seed=args.seed)
+    else:
+        policy = POLICY_FACTORIES[args.policy]()
     scheduler = SpeculativeScheduler(policy) if args.speculative else policy
     faults = _build_fault_plan(args)
     want_metrics = bool(args.metrics or args.metrics_out)
@@ -234,6 +262,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                                 faults=faults)
         return _report_simulate(args, result, policy, faults, handle)
     finally:
+        closer = getattr(policy, "close", None)
+        if closer is not None:
+            closer()
         if want_obs:
             obs.reset()
 

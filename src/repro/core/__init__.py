@@ -6,6 +6,7 @@ from repro.core.feasibility import (
     staircase_feasible,
 )
 from repro.core.mapping import ContainerPlan, MappingJob, Segment, map_time_slots
+from repro.core.parallel import ParallelPlanner, SqliteWcdeStore
 from repro.core.onion import (
     JobTarget,
     LayerHint,
@@ -31,7 +32,8 @@ from repro.core.rem import (
     solve_rem,
 )
 from repro.core.tas_lp import lp_feasible, solve_tas_lp
-from repro.core.wcde import WcdeCache, WcdeResult, solve_wcde, worst_case_demand
+from repro.core.wcde import (WcdeCache, WcdeResult, solve_wcde,
+                             solve_wcde_batch, worst_case_demand)
 
 __all__ = [
     "RemSolution",
@@ -42,6 +44,7 @@ __all__ = [
     "WcdeCache",
     "WcdeResult",
     "solve_wcde",
+    "solve_wcde_batch",
     "worst_case_demand",
     "OnionJob",
     "JobTarget",
@@ -65,4 +68,6 @@ __all__ = [
     "SchedulePlan",
     "RushPlanner",
     "IncrementalPlanner",
+    "ParallelPlanner",
+    "SqliteWcdeStore",
 ]

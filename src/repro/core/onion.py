@@ -180,9 +180,13 @@ class _DeadlineBank:
     Python call per job.  Unknown classes are handled by a scalar loop.
     """
 
-    def __init__(self, jobs: Sequence[OnionJob], horizon: int) -> None:
+    def __init__(self, jobs: Sequence[OnionJob], horizon: int,
+                 demands: Optional[npt.NDArray[np.float64]] = None,
+                 capacity: Optional[float] = None) -> None:
         self._n = len(jobs)
         self._horizon = horizon
+        self._demands = demands
+        self._capacity = capacity
         offsets = np.array([job.elapsed + job.compensation for job in jobs])
         self._offsets = offsets
         lin_idx, sig_idx, flat_idx, step_idx, other_idx = [], [], [], [], []
@@ -225,6 +229,9 @@ class _DeadlineBank:
         self.max_values = np.array([job.utility.max_value() for job in jobs],
                                    dtype=float)
         self._level_memo: Dict[float, npt.NDArray[np.float64]] = {}
+        self._view_memo: Dict[float, Tuple[npt.NDArray[np.intp],
+                                           npt.NDArray[np.float64],
+                                           npt.NDArray[np.float64]]] = {}
 
     def raw_deadlines(self, level: float) -> npt.NDArray[np.float64]:
         """``U_i^{-1}(level)`` for every job, before elapsed/compensation."""
@@ -274,6 +281,43 @@ class _DeadlineBank:
             self._level_memo.clear()
         self._level_memo[level] = d
         return d
+
+    def level_view(self, level: float) -> Tuple[npt.NDArray[np.intp],
+                                                npt.NDArray[np.float64],
+                                                npt.NDArray[np.float64]]:
+        """The whole layer's deadlines at ``level``, pre-sorted once.
+
+        Returns ``(order, deadlines_sorted * capacity, demands_sorted)``
+        where ``order`` is the *stable* argsort of :meth:`deadlines` over
+        every job in the bank and the two value arrays are aligned with
+        it.  Feasibility checks restrict this full-set view to the active
+        jobs with one boolean gather — a subsequence of a stably sorted
+        array is itself stably sorted, so the restriction reproduces
+        exactly the order a per-check stable argsort of the subset would
+        produce.  Deadlines come back pre-multiplied by the capacity so
+        the staircase's right-hand side ``capacity * d`` costs nothing
+        per check; :meth:`deadlines` floors every finite entry to an
+        integer, so the scaling is order-preserving and collapses no
+        ties (integer-times-capacity products stay exact far beyond any
+        realistic horizon).  Memoized per level: the bisection grids of
+        consecutive layers and of the bottleneck lookahead revisit
+        levels constantly, so one ``argsort`` typically serves many
+        checks.
+        """
+        if self._demands is None or self._capacity is None:
+            raise ConfigurationError(
+                "level_view needs the bank constructed with demand and "
+                "capacity")
+        view = self._view_memo.get(level)
+        if view is not None:
+            return view
+        d = self.deadlines(level)
+        order = np.argsort(d, kind="stable")
+        view = (order, d[order] * self._capacity, self._demands[order])
+        if len(self._view_memo) >= 1024:
+            self._view_memo.clear()
+        self._view_memo[level] = view
+        return view
 
 
 class _PeeledLedger:
@@ -396,25 +440,67 @@ def solve_onion(jobs: Sequence[OnionJob], capacity: int, *,
         else:
             active.append(i)
 
-    bank = _DeadlineBank(jobs, horizon)
-    ledger = _PeeledLedger()
     demands = np.array([job.demand for job in jobs], dtype=float)
+    bank = _DeadlineBank(jobs, horizon, demands, capacity)
+    ledger = _PeeledLedger()
     checks = 0
+    # Capacity-scaled ledger times, refreshed once per peel: the staircase
+    # compares capacity * deadline on both sides of the merge, so frozen
+    # commitments carry their scaled times alongside the raw ones.
+    ledger_cap = ledger.times * capacity
+
+    # One-slot identity cache for the active-set boolean mask: every check
+    # of one layer's bisection (and of one lookahead candidate) passes the
+    # same index-array object, so the mask is rebuilt only once per layer
+    # and once per candidate.  Holding a strong reference to the key array
+    # makes the ``is`` test safe against id reuse.
+    mask_state: List[Optional[npt.NDArray[np.bool_]]] = [None, None]
+
+    def active_mask(active_idx: npt.NDArray[np.intp]) -> npt.NDArray[np.bool_]:
+        if mask_state[0] is not active_idx:
+            mask = np.zeros(len(jobs), dtype=bool)
+            mask[active_idx] = True
+            mask_state[0] = active_idx  # type: ignore[assignment]
+            mask_state[1] = mask
+        return mask_state[1]  # type: ignore[return-value]
+
+    # Preallocated scratch for the merge: merged size is at most every job
+    # plus one tentative lookahead pin, so one set of buffers serves every
+    # check without re-allocating on the hot path.
+    n_jobs = len(jobs)
+    d_buf = np.empty(n_jobs + 1)
+    e_buf = np.empty(n_jobs + 1)
+    s_buf = np.empty(n_jobs + 1)
+    comp_buf = np.empty(n_jobs + 1, dtype=bool)
+    pos_buf = np.arange(n_jobs + 1)
 
     def staircase(level: float, active_idx: npt.NDArray[np.intp],
-                  extra_times: Sequence[float] = (),
-                  extra_demands: Sequence[float] = (),
+                  frozen: Optional[Tuple[npt.NDArray[np.float64],
+                                         npt.NDArray[np.float64]]] = None,
+                  need_candidates: bool = False,
                   ) -> Tuple[bool, List[int]]:
         """Check the staircase condition (12) at *all* deadlines.
 
         Active jobs' deadlines come from the utility level; peeled jobs
-        (plus any tentative ``extra`` commitments, used by the bottleneck
-        lookahead) contribute their frozen targets.  The condition must
+        (plus any tentative pin the bottleneck lookahead pre-merged into
+        ``frozen``) contribute their frozen targets.  The condition must
         hold at every merged deadline point: a peeled job finishing just
         after an active one still competes for the same early capacity.
-        On failure, the active jobs at or before the first violated point
-        — the candidate bottlenecks — are returned by global index, in
-        deadline order.
+
+        The whole layer is evaluated in one vectorized pass: the active
+        jobs are a boolean-gather restriction of the bank's memoized
+        per-level sorted view, merged with the (already sorted) frozen
+        commitments by ``searchsorted`` position arithmetic instead of a
+        per-check ``argsort``.  The merge reproduces the historical
+        concatenation order exactly — on equal deadlines active entries
+        precede frozen ones, and both blocks keep their internal order —
+        so prefix sums accumulate in the same sequence and every
+        feasibility verdict is bit-identical to the scalar path.
+
+        On failure with ``need_candidates``, the active jobs at or before
+        the first violated point — the candidate bottlenecks — are
+        returned by global index, in deadline order; probe callers leave
+        it false and get an empty list, skipping that bookkeeping.
         """
         nonlocal checks
         if budget_deadline is not None and time.perf_counter() > budget_deadline:
@@ -422,33 +508,72 @@ def solve_onion(jobs: Sequence[OnionJob], capacity: int, *,
                 f"onion solve exceeded its time budget after {checks} "
                 f"feasibility check(s)")
         checks += 1
-        d_active = bank.deadlines(level)[active_idx]
-        d_all = np.concatenate([d_active, ledger.times,
-                                np.asarray(extra_times, dtype=float)])
-        eta_all = np.concatenate([demands[active_idx], ledger.demands,
-                                  np.asarray(extra_demands, dtype=float)])
-        is_active = np.zeros(d_all.size, dtype=bool)
-        is_active[: d_active.size] = True
-        order = np.argsort(d_all, kind="stable")
-        d_sorted = d_all[order]
-        prefix = np.cumsum(eta_all[order])
-        active_sorted = is_active[order]
-        with np.errstate(invalid="ignore"):
-            slack = capacity * d_sorted - prefix
-        violated = np.nonzero(~(slack >= -1e-9))[0]  # catches -inf and NaN
-        if violated.size == 0:
+        order, dcap_sorted, eta_sorted = bank.level_view(level)
+        sel = active_mask(active_idx).take(order)
+        d_act = dcap_sorted.compress(sel)
+        eta_act = eta_sorted.compress(sel)
+        if frozen is None:
+            f_times, f_demands = ledger_cap, ledger.demands
+        else:
+            f_times, f_demands = frozen
+        na, nf = d_act.size, f_times.size
+        act_pos = None
+        fro_pos = None
+        if nf:
+            m = na + nf
+            comp = comp_buf[:m]
+            comp[:] = True
+            d_merged = d_buf[:m]
+            eta_merged = e_buf[:m]
+            # Merge by searching the smaller block into the larger one —
+            # the complement positions take the other block via a boolean
+            # scatter, so only one searchsorted runs per check.  Sides
+            # reproduce the historical tie order exactly: on equal
+            # deadlines every active entry precedes every frozen one.
+            if na <= nf:
+                act_pos = f_times.searchsorted(d_act, side="left")
+                act_pos += pos_buf[:na]
+                comp[act_pos] = False
+                d_merged[act_pos] = d_act
+                eta_merged[act_pos] = eta_act
+                d_merged[comp] = f_times
+                eta_merged[comp] = f_demands
+            else:
+                fro_pos = d_act.searchsorted(f_times, side="right")
+                fro_pos += pos_buf[:nf]
+                comp[fro_pos] = False
+                d_merged[fro_pos] = f_times
+                eta_merged[fro_pos] = f_demands
+                d_merged[comp] = d_act
+                eta_merged[comp] = eta_act
+        else:
+            d_merged = d_act
+            eta_merged = eta_act
+            m = na
+        prefix = eta_merged.cumsum()
+        slack = np.subtract(d_merged, prefix, out=s_buf[:m])
+        # A min-reduce verdict: -inf and NaN slack entries compare False
+        # against the tolerance, so unreachable levels stay infeasible.
+        if slack.min(initial=np.inf) >= -1e-9:
             return True, []
-        first = int(violated[0])
-        active_positions = np.nonzero(active_sorted[: first + 1])[0]
-        if not active_positions.size:  # pragma: no cover - defensive
-            active_positions = np.nonzero(active_sorted)[0][:1]
-        return False, [int(active_idx[order[pos]]) for pos in active_positions]
+        if not need_candidates:
+            return False, []
+        bad = ~(slack >= -1e-9)
+        first = int(np.argmax(bad))
+        if nf == 0:
+            count = first + 1
+        elif act_pos is not None:
+            count = int(act_pos.searchsorted(first, side="right"))
+        else:
+            count = first + 1 - int(fro_pos.searchsorted(first, side="right"))
+        if count == 0:  # pragma: no cover - defensive
+            count = 1
+        return False, [int(g) for g in order.compress(sel)[:count]]
 
-    def feasibility(level: float, active_idx: npt.NDArray[np.intp]
-                    ) -> Tuple[bool, Optional[int]]:
-        """Condition (12) plus the paper's greedy bottleneck (last in prefix)."""
-        ok, prefix = staircase(level, active_idx)
-        return ok, (prefix[-1] if prefix else None)
+    def feasibility(level: float, active_idx: npt.NDArray[np.intp]) -> bool:
+        """Condition (12) as a boolean probe (no candidate bookkeeping)."""
+        ok, _ = staircase(level, active_idx)
+        return ok
 
     global_floor = min((job.utility.min_value() for job in jobs), default=0.0)
     global_floor = min(global_floor, 0.0)
@@ -469,7 +594,7 @@ def solve_onion(jobs: Sequence[OnionJob], capacity: int, *,
             layer += 1
             active_idx = np.array(active, dtype=int)
             ceiling = float(bank.max_values[active_idx].max())
-            ok, _ = feasibility(ceiling, active_idx)
+            ok = feasibility(ceiling, active_idx)
             if ok:
                 # Every remaining job attains its ceiling; peel them all.
                 deadlines = bank.deadlines(ceiling)[active_idx]
@@ -486,11 +611,10 @@ def solve_onion(jobs: Sequence[OnionJob], capacity: int, *,
             # usually starts the bisection much closer to the fixed point.
             low = None
             if seed is not None and global_floor < seed < high:
-                ok, _ = feasibility(seed, active_idx)
-                if ok:
+                if feasibility(seed, active_idx):
                     low = seed
             if low is None:
-                ok, violator = feasibility(global_floor, active_idx)
+                ok = feasibility(global_floor, active_idx)
                 if not ok:
                     raise InfeasiblePlanError(
                         "even the minimum utility layer does not fit the horizon "
@@ -505,25 +629,22 @@ def solve_onion(jobs: Sequence[OnionJob], capacity: int, *,
                     and layer - 1 < len(warm_start) else None)
             if hint is not None:
                 if low < hint.low < high:
-                    ok, _ = feasibility(hint.low, active_idx)
-                    if ok:
+                    if feasibility(hint.low, active_idx):
                         low = hint.low
                     else:
                         high = hint.low
                 if low < hint.high < high:
-                    ok, _ = feasibility(hint.high, active_idx)
-                    if not ok:
+                    if not feasibility(hint.high, active_idx):
                         high = hint.high
                     else:
                         low = hint.high
             while high - low > tolerance:
                 mid = 0.5 * (low + high)
-                ok, _ = feasibility(mid, active_idx)
-                if ok:
+                if feasibility(mid, active_idx):
                     low = mid
                 else:
                     high = mid
-            ok, candidates = staircase(high, active_idx)
+            _, candidates = staircase(high, active_idx, need_candidates=True)
             if not candidates:  # pragma: no cover - defensive
                 candidates = [active[0]]
             bottleneck = candidates[-1]  # the paper's greedy pick
@@ -558,14 +679,29 @@ def solve_onion(jobs: Sequence[OnionJob], capacity: int, *,
                     for candidate in shortlist:
                         pin = _clamp_completion(
                             float(bank.deadlines(low)[candidate]), horizon)
-                        remaining = np.array([i for i in active if i != candidate],
-                                             dtype=int)
+                        # Pre-merge the tentative pin into the frozen ledger
+                        # once per candidate (historical tie order: ledger
+                        # entries precede the pin on equal times) so every
+                        # lookahead check skips the extra-commitment merge.
+                        # Times are capacity-scaled to match the staircase's
+                        # pre-scaled deadline views.
+                        lt, ld = ledger.times, ledger.demands
+                        ins = int(lt.searchsorted(float(pin), side="right"))
+                        f_times = np.empty(lt.size + 1)
+                        f_times[:ins] = ledger_cap[:ins]
+                        f_times[ins] = float(pin) * capacity
+                        f_times[ins + 1:] = ledger_cap[ins:]
+                        f_demands = np.empty(ld.size + 1)
+                        f_demands[:ins] = ld[:ins]
+                        f_demands[ins] = float(demands[candidate])
+                        f_demands[ins + 1:] = ld[ins:]
+                        frozen = (f_times, f_demands)
+                        remaining = active_idx[active_idx != candidate]
                         level = _lookahead_level(
-                            staircase, remaining, [float(pin)],
-                            [float(demands[candidate])], global_floor,
+                            staircase, remaining, frozen, global_floor,
                             float(bank.max_values[remaining].max())
                             if remaining.size else global_floor,
-                            tolerance)
+                            tolerance, prune_below=best_level)
                         if level > best_level + 1e-12:
                             best_level = level
                             bottleneck = candidate
@@ -577,6 +713,7 @@ def solve_onion(jobs: Sequence[OnionJob], capacity: int, *,
 
             deadline = float(bank.deadlines(low)[bottleneck])
             _peel_one(jobs[bottleneck], deadline, ledger, targets, layer, horizon)
+            ledger_cap = ledger.times * capacity
             active.remove(bottleneck)
             hints.append(LayerHint(low=low, high=high,
                                    candidate_ids=floor_candidates,
@@ -620,27 +757,42 @@ def _clamp_completion(deadline: float, horizon: int) -> int:
 
 def _lookahead_level(staircase: Callable[..., Tuple[bool, List[int]]],
                      remaining_idx: npt.NDArray[np.intp],
-                     extra_times: List[float], extra_demands: List[float],
+                     frozen: Tuple[npt.NDArray[np.float64],
+                                   npt.NDArray[np.float64]],
                      floor: float, ceiling: float,
-                     tolerance: float) -> float:
+                     tolerance: float,
+                     prune_below: float = -math.inf) -> float:
     """Max-min level the remaining jobs could reach after a tentative peel.
 
-    ``staircase`` is the layer feasibility oracle accepting tentative
-    extra commitments; the tentative bottleneck's pin is passed through
-    ``extra_times``/``extra_demands``.
+    ``staircase`` is the layer feasibility oracle; the tentative
+    bottleneck's pin arrives pre-merged into the ``frozen``
+    (times, demands) commitment arrays.
+
+    ``prune_below`` is the incumbent best level of the candidate scan.
+    The caller only consumes this function's result through the strict
+    comparison ``level > prune_below + 1e-12``, so once the bisection's
+    upper bracket falls to ``prune_below + 1e-12`` the final ``low``
+    (always strictly below ``high``) can no longer win and the remaining
+    probes are skipped.  The returned sentinel fails the comparison the
+    same way the fully-bisected value would, keeping every peel decision
+    identical to the unpruned scan.
     """
     if remaining_idx.size == 0:
         return math.inf
-    ok, _ = staircase(ceiling, remaining_idx, extra_times, extra_demands)
+    if ceiling <= prune_below + 1e-12:
+        return prune_below
+    ok, _ = staircase(ceiling, remaining_idx, frozen)
     if ok:
         return ceiling
-    ok, _ = staircase(floor, remaining_idx, extra_times, extra_demands)
+    ok, _ = staircase(floor, remaining_idx, frozen)
     if not ok:  # pragma: no cover - the pin never breaks the bottom layer
         return floor - 1.0
     low, high = floor, ceiling
     while high - low > tolerance:
+        if high <= prune_below + 1e-12:
+            return prune_below
         mid = 0.5 * (low + high)
-        ok, _ = staircase(mid, remaining_idx, extra_times, extra_demands)
+        ok, _ = staircase(mid, remaining_idx, frozen)
         if ok:
             low = mid
         else:

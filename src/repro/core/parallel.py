@@ -1,0 +1,381 @@
+"""Process-parallel WCDE presolve and a shared sqlite solve store.
+
+The planner's WCDE stage is embarrassingly parallel: each dirty job's
+robust demand is a pure function of ``(reference fingerprint, theta,
+delta)``.  :class:`ParallelPlanner` exploits that by sharding the dirty
+set across a :class:`concurrent.futures.ProcessPoolExecutor` *before*
+handing the round to the wrapped :class:`~repro.core.planner
+.IncrementalPlanner` — the pool's answers are installed into the
+planner's content-addressed :class:`~repro.core.wcde.WcdeCache`, so the
+serial planning code runs unchanged and every downstream byte of the
+plan is identical to the serial path.
+
+Determinism contract
+--------------------
+``solve_wcde_batch`` is batch-composition invariant: each row's narrow
+scan and lockstep bisection depend only on that row's own CDF bracket
+(padding columns are saturated and never feasible), so splitting a
+batch into shards cannot change any row's answer.  Workers therefore
+return bit-identical ``(eta_bin, reference_quantile, iterations)``
+triples no matter how many workers the pool has, and
+``SchedulePlan.to_dict()`` output is byte-identical across 1, 2 or 4
+workers and the serial planner (pinned by ``tests/test_parallel.py``).
+
+The optional :class:`SqliteWcdeStore` persists solves keyed by the same
+blake2b fingerprints, so concurrent planners and restarts share work.
+A stored row is lossless: ``worst_pmf``/``worst_kl`` are lazy
+derivations from the reference PMF, so the three stored integers fully
+determine the rehydrated :class:`~repro.core.wcde.WcdeResult`.
+
+One observable difference from the serial path: rows presolved by the
+pool (or the store) enter the cache before the round starts, so
+``PlanStats`` attributes them as cache *hits* rather than misses.  The
+``rush_parallel_*`` metrics carry the true attribution.
+"""
+
+from __future__ import annotations
+
+import pickle
+import sqlite3
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.planner import (
+    IncrementalPlanner,
+    PlannerJob,
+    RushPlanner,
+    SchedulePlan,
+)
+from repro.core.wcde import WcdeResult, solve_wcde_batch
+from repro.errors import ConfigurationError, SolverBudgetError
+from repro.estimation.pmf import Pmf
+from repro.obs import get_metrics, get_tracer
+
+__all__ = ["ParallelPlanner", "SqliteWcdeStore", "seed_worker"]
+
+
+def seed_worker(seed: int) -> None:
+    """Process-pool initializer: pin every RNG a worker might inherit.
+
+    RL010 requires every ``ProcessPoolExecutor`` constructed in a
+    deterministic package to install a seeding initializer, extending
+    RL001's seeded-RNG discipline across the fork boundary: a worker
+    that inherits (or lazily re-randomizes) hidden global RNG state
+    could silently diverge between runs.  The WCDE solve itself draws
+    no randomness — this belt-and-braces seed exists so that any future
+    worker-side code path inherits a pinned stream.
+    """
+    import random
+
+    import numpy as np
+
+    random.seed(seed)  # rushlint: disable=RL001 (initializer pins inherited global RNG state)
+    np.random.seed(seed % (2 ** 32))  # rushlint: disable=RL001 (initializer pins inherited global RNG state)
+
+
+def _solve_shard(payload: bytes) -> bytes:
+    """Worker entry point: solve one pickled shard of references.
+
+    The payload is ``pickle((theta, delta, [Pmf, ...]))``; the reply is
+    ``pickle([(eta_bin, reference_quantile, iterations), ...])`` in the
+    same order.  Only the three integers cross back over the pipe — the
+    parent rehydrates lazy :class:`WcdeResult` objects against its own
+    references.
+    """
+    theta, delta, references = pickle.loads(payload)
+    solved = solve_wcde_batch(references, theta, delta)
+    return pickle.dumps(
+        [(r.eta_bin, r.reference_quantile, r.iterations) for r in solved])
+
+
+class SqliteWcdeStore:
+    """Persistent WCDE solve store shared between planners and restarts.
+
+    Rows are keyed ``(fingerprint, theta, delta)`` — the identical
+    content address the in-memory :class:`~repro.core.wcde.WcdeCache`
+    uses — and hold the three integers that fully determine a
+    :class:`WcdeResult`.  ``worst_pmf`` and ``worst_kl`` are lazy
+    functions of the reference PMF, so :meth:`load` rehydrates a result
+    indistinguishable from a fresh solve (pinned by the round-trip test
+    in ``tests/test_parallel.py``).
+
+    The default ``":memory:"`` path gives a private throwaway store; a
+    filesystem path makes solves survive restarts and lets concurrent
+    planner processes share them (sqlite serializes writers).
+    """
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self.path = str(path)
+        self._conn = sqlite3.connect(self.path)
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS wcde_results ("
+            " fingerprint BLOB NOT NULL,"
+            " theta REAL NOT NULL,"
+            " delta REAL NOT NULL,"
+            " eta_bin INTEGER NOT NULL,"
+            " reference_quantile INTEGER NOT NULL,"
+            " iterations INTEGER NOT NULL,"
+            " PRIMARY KEY (fingerprint, theta, delta))")
+        self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "SqliteWcdeStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        row = self._conn.execute(
+            "SELECT COUNT(*) FROM wcde_results").fetchone()
+        return int(row[0])
+
+    def get(self, fingerprint: bytes, theta: float,
+            delta: float) -> Optional[Tuple[int, int, int]]:
+        """Stored ``(eta_bin, reference_quantile, iterations)`` or None."""
+        row = self._conn.execute(
+            "SELECT eta_bin, reference_quantile, iterations"
+            " FROM wcde_results"
+            " WHERE fingerprint = ? AND theta = ? AND delta = ?",
+            (fingerprint, float(theta), float(delta))).fetchone()
+        if row is None:
+            return None
+        return (int(row[0]), int(row[1]), int(row[2]))
+
+    def put_rows(self, rows: Iterable[Tuple[bytes, float, float,
+                                            int, int, int]]) -> None:
+        """Upsert ``(fingerprint, theta, delta, eta, refq, iters)`` rows."""
+        self._conn.executemany(
+            "INSERT OR REPLACE INTO wcde_results VALUES (?, ?, ?, ?, ?, ?)",
+            list(rows))
+        self._conn.commit()
+
+    def save(self, reference: Pmf, theta: float, delta: float,
+             result: WcdeResult) -> None:
+        """Persist one solve under its reference's content address."""
+        self.put_rows([(reference.fingerprint(), float(theta), float(delta),
+                        int(result.eta_bin), int(result.reference_quantile),
+                        int(result.iterations))])
+
+    def load(self, reference: Pmf, theta: float,
+             delta: float) -> Optional[WcdeResult]:
+        """Rehydrate the stored solve for ``reference``, if any."""
+        row = self.get(reference.fingerprint(), theta, delta)
+        if row is None:
+            return None
+        return WcdeResult(eta_bin=row[0], reference_quantile=row[1],
+                          iterations=row[2], reference=reference,
+                          theta=float(theta))
+
+
+def _note_pool(workers: int, shards: int, rows: int,
+               store_hits: int) -> None:
+    metrics = get_metrics()
+    if not metrics.active:
+        return
+    metrics.counter(
+        "rush_parallel_rows_total",
+        help="WCDE rows presolved ahead of the round, by source",
+        labels=("source",)).labels("pool").inc(rows)
+    metrics.counter(
+        "rush_parallel_rows_total",
+        help="WCDE rows presolved ahead of the round, by source",
+        labels=("source",)).labels("store").inc(store_hits)
+    metrics.counter(
+        "rush_parallel_shards_total",
+        help="shards dispatched to process-pool workers").inc(shards)
+    metrics.gauge(
+        "rush_parallel_pool_utilization",
+        help="fraction of pool workers given a shard in the last "
+             "presolve").set(shards / workers if workers else 0.0)
+
+
+class ParallelPlanner:
+    """Drop-in :class:`IncrementalPlanner` that shards WCDE presolve.
+
+    Wraps a :class:`RushPlanner` (which must carry a ``WcdeCache``) in
+    its own :class:`IncrementalPlanner` and, before each round, solves
+    every job the memo will *not* presolve: cache hits are skipped, the
+    optional :class:`SqliteWcdeStore` is consulted next, and only the
+    remaining misses are sharded across a ``ProcessPoolExecutor`` (one
+    contiguous chunk per worker, reassembled in input order).  All
+    answers are installed into the planner's cache, so the serial
+    planning round that follows performs zero fresh bisections and
+    produces byte-identical output — see the module docstring for the
+    batch-composition-invariance argument.
+
+    With ``workers=1`` the shard is solved inline (same vectorized
+    batch path, no fork overhead), which keeps the 1-worker
+    configuration exactly as cheap as the serial planner.
+    """
+
+    def __init__(self, planner: RushPlanner, *, workers: int = 2,
+                 warm_start: bool = True,
+                 store: Optional[SqliteWcdeStore] = None,
+                 seed: int = 0) -> None:
+        if workers < 1:
+            raise ConfigurationError(
+                f"ParallelPlanner workers must be >= 1, got {workers}")
+        if planner.wcde_cache is None:
+            raise ConfigurationError(
+                "ParallelPlanner requires the wrapped planner to have a "
+                "WcdeCache (wcde_cache_size > 0): pool results are "
+                "installed through it")
+        self.planner = planner
+        self.workers = int(workers)
+        self.store = store
+        self.seed = int(seed)
+        self._incremental = IncrementalPlanner(planner,
+                                               warm_start=warm_start)
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self.pool_rows = 0
+        self.store_hits = 0
+
+    # -- IncrementalPlanner surface -------------------------------------------
+
+    @property
+    def warm_start(self) -> bool:
+        return self._incremental.warm_start
+
+    @property
+    def presolve_hits(self) -> int:
+        return self._incremental.presolve_hits
+
+    @property
+    def presolve_misses(self) -> int:
+        return self._incremental.presolve_misses
+
+    def forget(self, job_id: str) -> None:
+        """Drop a departed job's incremental state."""
+        self._incremental.forget(job_id)
+
+    def reset(self) -> None:
+        """Drop all incremental state (presolves and warm-start hints)."""
+        self._incremental.reset()
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "ParallelPlanner":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- the parallel presolve ------------------------------------------------
+
+    def _pool(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers, initializer=seed_worker,
+                initargs=(self.seed,))
+        return self._executor
+
+    def _presolve(self, jobs: Sequence[PlannerJob],
+                  deadline: Optional[float]) -> None:
+        planner = self.planner
+        cache = planner.wcde_cache
+        assert cache is not None
+        theta = planner.theta
+        # Group the jobs the incremental memo will not presolve by
+        # resolved delta, dedupe by content address, and drop anything
+        # the cache or store already knows.
+        groups: Dict[float, "Dict[bytes, Pmf]"] = {}
+        for job in self._incremental.pending_jobs(jobs):
+            resolved = float(planner.delta if job.delta is None
+                             else job.delta)
+            pmf = job.estimate.pmf
+            if cache.peek(pmf, theta, resolved) is not None:
+                continue
+            groups.setdefault(resolved, {}).setdefault(
+                pmf.fingerprint(), pmf)
+        store = self.store
+        store_hits = 0
+        shards_used = 0
+        pool_rows = 0
+        for resolved, by_print in groups.items():
+            misses: List[Pmf] = []
+            for fingerprint, pmf in by_print.items():
+                row = None if store is None else store.get(
+                    fingerprint, theta, resolved)
+                if row is not None:
+                    cache.install(pmf, theta, resolved, WcdeResult(
+                        eta_bin=row[0], reference_quantile=row[1],
+                        iterations=row[2], reference=pmf, theta=theta))
+                    store_hits += 1
+                else:
+                    misses.append(pmf)
+            if not misses:
+                continue
+            if deadline is not None and time.perf_counter() > deadline:
+                raise SolverBudgetError(
+                    "planning round exceeded its time budget during the "
+                    "parallel WCDE presolve")
+            if self.workers == 1 or len(misses) < 2 * self.workers:
+                solved = solve_wcde_batch(misses, theta, resolved)
+                shards_used += 1
+            else:
+                chunk = -(-len(misses) // self.workers)
+                shards = [misses[i:i + chunk]
+                          for i in range(0, len(misses), chunk)]
+                futures: List["Future[bytes]"] = [self._pool().submit(
+                    _solve_shard, pickle.dumps((theta, resolved, shard)))
+                    for shard in shards]
+                solved = []
+                for shard, future in zip(shards, futures):
+                    for pmf, row in zip(shard, pickle.loads(future.result())):
+                        solved.append(WcdeResult(
+                            eta_bin=row[0], reference_quantile=row[1],
+                            iterations=row[2], reference=pmf, theta=theta))
+                shards_used += len(shards)
+            pool_rows += len(misses)
+            store_rows = []
+            for pmf, result in zip(misses, solved):
+                cache.install(pmf, theta, resolved, result)
+                if store is not None:
+                    store_rows.append(
+                        (pmf.fingerprint(), float(theta), float(resolved),
+                         int(result.eta_bin),
+                         int(result.reference_quantile),
+                         int(result.iterations)))
+            if store_rows:
+                store.put_rows(store_rows)
+        self.pool_rows += pool_rows
+        self.store_hits += store_hits
+        tracer = get_tracer()
+        if tracer.active and (pool_rows or store_hits):
+            tracer.event("planner.parallel_presolve", workers=self.workers,
+                         shards=shards_used, rows=pool_rows,
+                         store_hits=store_hits)
+        if pool_rows or store_hits:
+            _note_pool(self.workers, shards_used, pool_rows, store_hits)
+
+    def plan(self, jobs: Sequence[PlannerJob],
+             horizon: Optional[int] = None, *,
+             time_budget: Optional[float] = None) -> SchedulePlan:
+        """One planning round with the WCDE stage presolved in parallel.
+
+        ``time_budget`` covers the whole round including the presolve:
+        the budget is checked cooperatively between shards, and the
+        remainder is handed to the serial round.
+        """
+        started = time.perf_counter()
+        if time_budget is not None and time_budget <= 0.0:
+            raise ConfigurationError(
+                f"time_budget must be positive, got {time_budget}")
+        deadline = None if time_budget is None else started + time_budget
+        self._presolve(jobs, deadline)
+        remaining: Optional[float] = None
+        if deadline is not None:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0.0:
+                raise SolverBudgetError(
+                    "planning round exceeded its time budget during the "
+                    "parallel WCDE presolve")
+        return self._incremental.plan(jobs, horizon, time_budget=remaining)

@@ -44,7 +44,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.errors import ConfigurationError, SolverBudgetError
 from repro.core.mapping import ContainerPlan, MappingJob, map_time_slots
 from repro.core.onion import LayerHint, OnionJob, solve_onion
-from repro.core.wcde import WcdeCache, solve_wcde
+from repro.core.wcde import WcdeCache, solve_wcde, solve_wcde_batch
 from repro.estimation.base import DemandEstimate
 from repro.obs import get_metrics, get_tracer
 from repro.utility.base import UtilityFunction
@@ -266,11 +266,17 @@ class RushPlanner:
         memoization (every solve pays the full bisection).  The cache
         never changes results — an entry is keyed by everything the solve
         depends on — so this is purely a speed/memory dial.
+    batch_wcde:
+        Route stage 1 through the vectorized :func:`~repro.core.wcde
+        .solve_wcde_batch` sweep (the default).  ``False`` falls back to
+        the scalar per-job solve — element-wise identical by the batch
+        equivalence property, kept as an A/B and debugging lever
+        (surfaced as ``rush simulate --no-batch``).
     """
 
     def __init__(self, capacity: int, *, theta: float = 0.9, delta: float = 0.7,
                  tolerance: float = 0.01, compensate_runtime: bool = True,
-                 wcde_cache_size: int = 4096) -> None:
+                 wcde_cache_size: int = 4096, batch_wcde: bool = True) -> None:
         if capacity <= 0:
             raise ConfigurationError(f"capacity must be positive, got {capacity}")
         if not 0.0 <= theta <= 1.0:
@@ -287,6 +293,7 @@ class RushPlanner:
         self.delta = delta
         self.tolerance = tolerance
         self.compensate_runtime = compensate_runtime
+        self.batch_wcde = batch_wcde
         self.wcde_cache: Optional[WcdeCache] = (
             WcdeCache(wcde_cache_size) if wcde_cache_size else None)
 
@@ -320,7 +327,7 @@ class RushPlanner:
         ``time_budget`` is a wall-clock allowance in seconds for the
         whole round; exceeding it raises
         :class:`~repro.errors.SolverBudgetError` from the stage that
-        noticed (checked cooperatively per WCDE job, per onion
+        noticed (checked cooperatively per WCDE batch, per onion
         feasibility probe and before the mapping stage), leaving the
         planner's caches consistent so a retry or fallback is safe.
         """
@@ -343,24 +350,57 @@ class RushPlanner:
             iters: Dict[str, int] = {}
             presolved_out: Dict[str, PresolvedDemand] = {}
             onion_jobs: List[OnionJob] = []
+
+            # Stage 1, batched: presolved jobs skip the solve entirely;
+            # everything else is grouped by resolved delta (theta is
+            # planner-wide) and handed to the vectorized batch solver in
+            # one call per group — element-wise identical to the scalar
+            # per-job path, without its per-job Python bisection loops.
+            dirty: List[PlannerJob] = []
             for job in jobs:
+                pre = presolved.get(job.job_id) if presolved else None
+                if pre is not None:
+                    stats.wcde_presolved += 1
+                    presolved_out[job.job_id] = pre
+                else:
+                    dirty.append(job)
+            if cache is not None and stats.wcde_presolved:
+                cache.note_presolve_reuse(stats.wcde_presolved)
+            groups: Dict[float, List[PlannerJob]] = {}
+            for job in dirty:
+                resolved = self.delta if job.delta is None else job.delta
+                groups.setdefault(float(resolved), []).append(job)
+            for resolved, group in groups.items():
                 if deadline is not None and time.perf_counter() > deadline:
                     raise SolverBudgetError(
                         "planning round exceeded its time budget during the "
                         "WCDE stage")
-                pre = presolved.get(job.job_id) if presolved else None
-                if pre is not None:
-                    eta, ref, n_iter = pre.eta, pre.reference, pre.iterations
-                    stats.wcde_presolved += 1
-                    presolved_out[job.job_id] = pre
+                pmfs = [job.estimate.pmf for job in group]
+                if not self.batch_wcde:
+                    # Scalar A/B path: one solve per job, same answers.
+                    if cache is not None:
+                        solved = [cache.solve(pmf, self.theta, resolved)
+                                  for pmf in pmfs]
+                    else:
+                        solved = [solve_wcde(pmf, self.theta, resolved,
+                                             need_worst_pmf=False)
+                                  for pmf in pmfs]
+                elif cache is not None:
+                    solved = cache.solve_batch(pmfs, self.theta, resolved)
                 else:
-                    eta, ref, n_iter = self.robust_demand(job.estimate, job.delta)
+                    solved = solve_wcde_batch(pmfs, self.theta, resolved)
+                for job, result in zip(group, solved):
                     presolved_out[job.job_id] = PresolvedDemand(
-                        eta=eta, reference=ref, iterations=n_iter)
-                eta += max(job.extra_demand, 0.0)
+                        eta=job.estimate.demand_at(result.eta_bin),
+                        reference=job.estimate.demand_at(
+                            result.reference_quantile),
+                        iterations=result.iterations)
+            for job in jobs:
+                pre = presolved_out[job.job_id]
+                eta = pre.eta + max(job.extra_demand, 0.0)
                 etas[job.job_id] = eta
-                refs[job.job_id] = ref
-                iters[job.job_id] = n_iter
+                refs[job.job_id] = pre.reference
+                iters[job.job_id] = pre.iterations
                 compensation = (job.estimate.container_runtime
                                 if self.compensate_runtime else 0.0)
                 onion_jobs.append(OnionJob(
@@ -475,6 +515,23 @@ class IncrementalPlanner:
     def forget(self, job_id: str) -> None:
         """Drop a departed job's state."""
         self._memo.pop(job_id, None)
+
+    def pending_jobs(self, jobs: Sequence[PlannerJob]) -> List[PlannerJob]:
+        """The jobs the next :meth:`plan` call will *not* presolve.
+
+        Pure query (no counter or memo changes): a job is pending unless
+        the memo holds the identical estimate object under the same
+        per-job delta.  :class:`~repro.core.parallel.ParallelPlanner`
+        uses this to ship exactly the to-be-solved set to its worker
+        pool ahead of the round.
+        """
+        pending: List[PlannerJob] = []
+        for job in jobs:
+            memo = self._memo.get(job.job_id)
+            if not (memo is not None and memo.estimate is job.estimate
+                    and memo.delta == job.delta):
+                pending.append(job)
+        return pending
 
     def reset(self) -> None:
         """Drop all incremental state (presolves and warm-start hints)."""

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import math
 from collections import OrderedDict
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -45,7 +45,8 @@ from repro.core.rem import (rem_min_kl_from_cdf, rem_min_kl_from_cdf_array,
 from repro.estimation.pmf import Pmf
 from repro.obs import get_metrics, get_tracer
 
-__all__ = ["WcdeResult", "WcdeCache", "solve_wcde", "worst_case_demand"]
+__all__ = ["WcdeResult", "WcdeCache", "solve_wcde", "solve_wcde_batch",
+           "worst_case_demand"]
 
 #: Candidate ranges at most this wide skip the bisection loop and are
 #: swept with one vectorized REM evaluation over the cached CDF.
@@ -234,6 +235,148 @@ def solve_wcde(reference: Pmf, theta: float, delta: float, *,
     return result
 
 
+#: Histogram buckets for batch sizes handed to :func:`solve_wcde_batch`.
+_BATCH_BUCKETS = (1.0, 8.0, 64.0, 256.0, 1024.0, 4096.0)
+
+
+def _note_batch(size: int, narrow: int, bisect: int, shortcut: int) -> None:
+    """Record one :func:`solve_wcde_batch` call in the metrics registry.
+
+    ``rush_wcde_batch_rows_total{path}`` splits the rows by solve path so
+    the vector-path fraction (``narrow`` rows over all rows) is a direct
+    PromQL/ratio query; ``rush_wcde_batch_size`` tracks how much work each
+    batch amortizes.
+    """
+    metrics = get_metrics()
+    if not metrics.active:
+        return
+    metrics.histogram("rush_wcde_batch_size", buckets=_BATCH_BUCKETS,
+                      help="References per WCDE batch solve",
+                      unit="references").observe(size)
+    rows = metrics.counter("rush_wcde_batch_rows_total",
+                           help="WCDE batch rows by solve path",
+                           labels=("path",))
+    if narrow:
+        rows.labels("narrow").inc(narrow)
+    if bisect:
+        rows.labels("bisect").inc(bisect)
+    if shortcut:
+        rows.labels("shortcut").inc(shortcut)
+
+
+def solve_wcde_batch(references: Sequence[Pmf], theta: float,
+                     delta: float) -> List[WcdeResult]:
+    """Solve the WCDE problem for a whole batch of references at once.
+
+    Element-wise identical to calling :func:`solve_wcde` per reference —
+    same ``eta_bin``, ``reference_quantile``, ``iterations`` and (lazily
+    materialized) worst-case distribution — but the per-job Python
+    bisection loops collapse into vectorized numpy passes:
+
+    * *narrow* rows (candidate range at most ``_SCAN_WIDTH`` wide, the
+      overwhelmingly common case for calibrated estimators) are stacked
+      into one padded CDF matrix and swept with a single
+      :func:`rem_min_kl_from_cdf_array` call — padding with ``CDF = 1``
+      makes every padded cell saturated (``g = inf``), so it can never be
+      selected as feasible;
+    * *wide* rows run a lockstep mask-per-row bisection: each step
+      gathers one CDF value per still-open row and evaluates the REM
+      objective for all of them in one vectorized call, so a batch of
+      ``k`` rows costs ``O(log tau_max)`` numpy passes instead of
+      ``O(k log tau_max)`` scalar evaluations.
+
+    Results are returned in input order.  Like :class:`WcdeCache`, the
+    hot path never materializes ``worst_pmf`` (lazy on first access).
+    """
+    if not 0.0 <= theta <= 1.0:
+        raise ConfigurationError(f"theta={theta} outside [0, 1]")
+    if delta < 0.0 or math.isnan(delta):
+        raise ConfigurationError(f"delta={delta} must be >= 0")
+
+    n = len(references)
+    results: List[Optional[WcdeResult]] = [None] * n
+    with get_tracer().span("wcde.solve_batch", size=n, theta=theta,
+                           delta=delta) as span:
+        narrow: List[Tuple[int, int, int, np.ndarray]] = []
+        wide: List[Tuple[int, int, int, np.ndarray]] = []
+        shortcuts = 0
+        for i, reference in enumerate(references):
+            anchor = reference.quantile(theta)
+            ceiling = reference.support_max()
+            if theta >= 1.0:
+                results[i] = WcdeResult(eta_bin=ceiling,
+                                        reference_quantile=anchor,
+                                        iterations=0, reference=reference,
+                                        theta=theta)
+                shortcuts += 1
+            # rushlint: disable=RL003 (exact-zero sentinel, same convention
+            # as the scalar solve above)
+            elif delta == 0.0 or anchor >= ceiling:
+                results[i] = WcdeResult(eta_bin=anchor,
+                                        reference_quantile=anchor,
+                                        iterations=0, reference=reference,
+                                        theta=theta)
+                shortcuts += 1
+            else:
+                low, high = anchor - 1, ceiling
+                row = (i, anchor, ceiling, reference.cdf())
+                if high - low <= _SCAN_WIDTH:
+                    narrow.append(row)
+                else:
+                    wide.append(row)
+
+        if narrow:
+            k = len(narrow)
+            widths = [row[2] - row[1] for row in narrow]  # high - low - 1
+            padded = np.ones((k, max(widths) if widths else 1))
+            for r, (_, anchor, ceiling, cdf) in enumerate(narrow):
+                padded[r, :widths[r]] = cdf[anchor: ceiling]
+            g = rem_min_kl_from_cdf_array(padded, theta)
+            feas = g <= delta + 1e-12
+            has_feasible = feas.any(axis=1)
+            last = padded.shape[1] - 1 - np.argmax(feas[:, ::-1], axis=1)
+            for r, (i, anchor, ceiling, _) in enumerate(narrow):
+                low = anchor - 1
+                if has_feasible[r]:
+                    low = low + 1 + int(last[r])
+                results[i] = WcdeResult(eta_bin=max(low + 1, anchor),
+                                        reference_quantile=anchor,
+                                        iterations=1, reference=references[i],
+                                        theta=theta)
+
+        if wide:
+            k = len(wide)
+            lows = np.array([row[1] - 1 for row in wide], dtype=np.int64)
+            highs = np.array([row[2] for row in wide], dtype=np.int64)
+            iters = np.zeros(k, dtype=np.int64)
+            cdfs = [row[3] for row in wide]
+            open_rows = np.nonzero(highs - lows > 1)[0]
+            while open_rows.size:
+                mids = (lows[open_rows] + highs[open_rows]) // 2
+                p = np.empty(open_rows.size)
+                for j, r in enumerate(open_rows):
+                    p[j] = cdfs[r][mids[j]]
+                feas = (rem_min_kl_from_cdf_array(p, theta)
+                        <= delta + 1e-12)
+                iters[open_rows] += 1
+                lows[open_rows] = np.where(feas, mids, lows[open_rows])
+                highs[open_rows] = np.where(feas, highs[open_rows], mids)
+                open_rows = open_rows[
+                    highs[open_rows] - lows[open_rows] > 1]
+            for r, (i, anchor, ceiling, _) in enumerate(wide):
+                results[i] = WcdeResult(
+                    eta_bin=max(int(lows[r]) + 1, anchor),
+                    reference_quantile=anchor, iterations=int(iters[r]),
+                    reference=references[i], theta=theta)
+
+        span.note(narrow_rows=len(narrow), bisect_rows=len(wide),
+                  shortcut_rows=shortcuts)
+    for result in results:
+        _note_solve(result.iterations)  # type: ignore[union-attr]
+    _note_batch(n, len(narrow), len(wide), shortcuts)
+    return results  # type: ignore[return-value]
+
+
 class WcdeCache:
     """Bounded LRU memo of WCDE solves, keyed by distribution content.
 
@@ -246,7 +389,12 @@ class WcdeCache:
 
     ``hits`` / ``misses`` counters make the cache's effectiveness an
     observable number (surfaced by the planner's :class:`PlanStats
-    <repro.core.planner.PlanStats>`).
+    <repro.core.planner.PlanStats>`).  ``presolve_reuses`` counts jobs
+    whose WCDE answer was reused via :class:`~repro.core.planner
+    .PresolvedDemand` without consulting the cache at all — those reuses
+    are memoization wins just like hits, so :attr:`hit_rate` folds them
+    in; keeping them out of ``hits`` preserves the invariant that
+    ``hits + misses`` equals the number of actual cache lookups.
     """
 
     def __init__(self, maxsize: int = 4096) -> None:
@@ -256,6 +404,7 @@ class WcdeCache:
         self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
+        self.presolve_reuses = 0
         self._entries: "OrderedDict[Tuple[bytes, float, float], WcdeResult]" = \
             OrderedDict()
 
@@ -263,15 +412,65 @@ class WcdeCache:
         return len(self._entries)
 
     def clear(self) -> None:
-        """Drop all entries and reset the hit/miss counters."""
+        """Drop all entries and reset the hit/miss/reuse counters."""
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.presolve_reuses = 0
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        """Fraction of demand queries answered without a fresh solve.
+
+        Presolve reuses count toward the numerator and denominator: a
+        job that skipped the lookup because the caller proved its answer
+        unchanged is a memoization win the hit-rate must not undercount.
+        """
+        total = self.hits + self.presolve_reuses + self.misses
+        return (self.hits + self.presolve_reuses) / total if total else 0.0
+
+    def note_presolve_reuse(self, count: int = 1) -> None:
+        """Record ``count`` jobs that reused a presolved WCDE answer.
+
+        Called by the planner when :class:`~repro.core.planner
+        .PresolvedDemand` short-circuits stage 1; surfaces in the
+        ``rush_wcde_cache_total{outcome="presolve_reuse"}`` metric so
+        hit-rate telemetry sees reuse that never touches the cache dict.
+        """
+        self.presolve_reuses += count
+        metrics = get_metrics()
+        if metrics.active:
+            metrics.counter("rush_wcde_cache_total",
+                            help="WcdeCache lookups by outcome",
+                            labels=("outcome",)).labels(
+                                "presolve_reuse").inc(count)
+
+    def peek(self, reference: Pmf, theta: float,
+             delta: float) -> Optional[WcdeResult]:
+        """Return the cached entry without touching counters or LRU order.
+
+        Used by :class:`~repro.core.parallel.ParallelPlanner` to decide
+        what to ship to the worker pool; a peek is not a lookup the
+        planning round performs, so it must not skew hit-rate telemetry.
+        """
+        return self._entries.get(
+            (reference.fingerprint(), float(theta), float(delta)))
+
+    def install(self, reference: Pmf, theta: float, delta: float,
+                result: WcdeResult) -> None:
+        """Insert an externally computed solve (no counter changes).
+
+        The entry point for pool workers and the sqlite store: results
+        proven identical to a fresh solve are seeded into the LRU so the
+        serial round that follows hits them.  Counters are untouched —
+        the install is attributed by the ``rush_parallel_*`` metrics
+        instead.
+        """
+        key = (reference.fingerprint(), float(theta), float(delta))
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
 
     def solve(self, reference: Pmf, theta: float, delta: float) -> WcdeResult:
         """Memoized :func:`solve_wcde` with the lazy-``worst_pmf`` path."""
@@ -289,6 +488,54 @@ class WcdeCache:
         if len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
         return entry
+
+    def solve_batch(self, references: Sequence[Pmf], theta: float,
+                    delta: float) -> List[WcdeResult]:
+        """Memoized :func:`solve_wcde_batch`: only cache misses are solved.
+
+        Lookup accounting matches a sequential loop over :meth:`solve`
+        exactly: the first occurrence of a fingerprint missing from the
+        cache counts as a miss, and every later duplicate in the same
+        batch counts as a hit (a scalar loop would have populated the
+        entry by then).  Only the deduplicated misses enter the vectorized
+        batch solve.
+        """
+        t, d = float(theta), float(delta)
+        n = len(references)
+        results: List[Optional[WcdeResult]] = [None] * n
+        pending: "OrderedDict[Tuple[bytes, float, float], List[int]]" = \
+            OrderedDict()
+        for i, reference in enumerate(references):
+            key = (reference.fingerprint(), t, d)
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                _note_cache_outcome("hit", t, d)
+                results[i] = entry
+                continue
+            positions = pending.get(key)
+            if positions is not None:
+                # Duplicate within the batch: a scalar loop would hit the
+                # entry created by the first occurrence.
+                self.hits += 1
+                _note_cache_outcome("hit", t, d)
+            else:
+                positions = pending[key] = []
+                self.misses += 1
+                _note_cache_outcome("miss", t, d)
+            positions.append(i)
+        if pending:
+            miss_refs = [references[positions[0]]
+                         for positions in pending.values()]
+            solved = solve_wcde_batch(miss_refs, theta, delta)
+            for (key, positions), entry in zip(pending.items(), solved):
+                self._entries[key] = entry
+                for i in positions:
+                    results[i] = entry
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+        return results  # type: ignore[return-value]
 
 
 def worst_case_demand(reference: Pmf, theta: float, delta: float) -> int:

@@ -1,0 +1,23 @@
+"""RL010 negative: seeded initializers (or opaque splats) are fine."""
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+
+def seed_worker(seed: int) -> None:
+    pass
+
+
+def presolve_seeded(shards, seed: int):
+    with ProcessPoolExecutor(max_workers=4, initializer=seed_worker,
+                             initargs=(seed,)) as pool:
+        return list(pool.map(sum, shards))
+
+
+def presolve_splat(shards, **kwargs):
+    with ProcessPoolExecutor(**kwargs) as pool:
+        return list(pool.map(sum, shards))
+
+
+def threads_are_fine(shards):
+    # Threads share the parent interpreter's (already linted) RNG state.
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        return list(pool.map(sum, shards))

@@ -1,0 +1,13 @@
+"""RL010 positive: process pools forked without a seeding initializer."""
+import concurrent.futures
+from concurrent.futures import ProcessPoolExecutor
+
+
+def presolve_unseeded(shards):
+    with ProcessPoolExecutor(max_workers=4) as pool:
+        return list(pool.map(sum, shards))
+
+
+def presolve_unseeded_qualified(shards):
+    with concurrent.futures.ProcessPoolExecutor(4) as pool:
+        return list(pool.map(sum, shards))

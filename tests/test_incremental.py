@@ -251,6 +251,54 @@ class TestIncrementalEquivalence:
         assert warm.presolve_hits == 4
         assert plan.stats.wcde_presolved == 4
 
+    def test_presolve_reuse_feeds_cache_hit_rate(self):
+        """ISSUE 6 satellite: presolve reuse no longer bypasses telemetry.
+
+        A warm replan presolves every job, so the round performs zero
+        cache lookups — historically the hit-rate read 0% despite four
+        memoization wins.  The distinct ``presolve_reuses`` counter now
+        folds them into ``hit_rate`` while ``hits + misses`` keeps
+        counting actual lookups only.
+        """
+        raw_jobs = [
+            PlannerJob(f"j{i}", LinearUtility(200.0, 1.0),
+                       DemandEstimate(Pmf.from_gaussian(40 + i, 6, tau_max=120),
+                                      bin_width=1.0, container_runtime=5.0,
+                                      sample_count=4))
+            for i in range(4)]
+        planner = RushPlanner(16)
+        warm = IncrementalPlanner(planner, warm_start=False)
+        cache = planner.wcde_cache
+        warm.plan(raw_jobs)
+        assert cache.presolve_reuses == 0
+        assert (cache.hits, cache.misses) == (0, 4)
+        warm.plan(raw_jobs)
+        assert cache.presolve_reuses == 4
+        # No new lookups happened; the rate still reflects the reuse.
+        assert (cache.hits, cache.misses) == (0, 4)
+        assert cache.hit_rate == pytest.approx(4 / 8)
+        cache.clear()
+        assert cache.presolve_reuses == 0
+
+    def test_pending_jobs_is_a_pure_query(self):
+        raw_jobs = [
+            PlannerJob(f"j{i}", LinearUtility(200.0, 1.0),
+                       DemandEstimate(Pmf.from_gaussian(40 + i, 6, tau_max=120),
+                                      bin_width=1.0, container_runtime=5.0,
+                                      sample_count=4))
+            for i in range(3)]
+        warm = IncrementalPlanner(RushPlanner(16), warm_start=False)
+        assert warm.pending_jobs(raw_jobs) == raw_jobs
+        assert warm.presolve_hits == 0 and warm.presolve_misses == 0
+        warm.plan(raw_jobs)
+        assert warm.pending_jobs(raw_jobs) == []
+        churned = PlannerJob(
+            raw_jobs[0].job_id, raw_jobs[0].utility,
+            DemandEstimate(Pmf.from_gaussian(55, 6, tau_max=120),
+                           bin_width=1.0, container_runtime=5.0,
+                           sample_count=5))
+        assert warm.pending_jobs([churned] + raw_jobs[1:]) == [churned]
+
     def test_forget_drops_presolve_entry(self):
         job = PlannerJob("solo", LinearUtility(200.0, 1.0),
                          DemandEstimate(Pmf.from_gaussian(40, 6, tau_max=120),

@@ -37,6 +37,7 @@ RULE_CASES = {
     "RL007": (LintConfig(package_override="core"), 4),
     "RL008": (LintConfig(benchmark_override=True), 3),
     "RL009": (LintConfig(package_override="obs"), 2),
+    "RL010": (LintConfig(package_override="core"), 2),
 }
 
 
@@ -51,7 +52,7 @@ def _rule_findings(rule_id, kind):
 # Registry
 # ---------------------------------------------------------------------------
 
-def test_registry_ships_the_nine_domain_rules():
+def test_registry_ships_the_ten_domain_rules():
     assert sorted(RULE_REGISTRY) == sorted(RULE_CASES)
     for rule_id, cls in RULE_REGISTRY.items():
         assert cls.rule_id == rule_id

@@ -1,0 +1,197 @@
+"""The process-pool planner and the sqlite WCDE store (ISSUE 6).
+
+The headline contract: :class:`~repro.core.parallel.ParallelPlanner`
+with 1, 2 and 4 workers produces *byte-identical*
+``SchedulePlan.to_dict()`` output to the serial
+:class:`~repro.core.planner.IncrementalPlanner` — the pool only moves
+WCDE solves across processes, it never changes them (batch-composition
+invariance is pinned in ``tests/test_wcde_batch.py``).  The sqlite
+store must round-trip a :class:`~repro.core.wcde.WcdeResult`
+losslessly, including the lazily derived ``worst_pmf``/``worst_kl``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro import (
+    IncrementalPlanner,
+    LinearUtility,
+    ParallelPlanner,
+    PlannerJob,
+    RushPlanner,
+    SqliteWcdeStore,
+)
+from repro.core.wcde import solve_wcde
+from repro.errors import ConfigurationError, SolverBudgetError
+from repro.estimation import DemandEstimate, Pmf
+
+
+def make_jobs(n: int, *, mean_base: float = 30.0) -> list:
+    return [
+        PlannerJob(f"j{i:03d}", LinearUtility(300.0, 1.0 + (i % 5) * 0.3),
+                   DemandEstimate(
+                       Pmf.from_gaussian(mean_base + 3.1 * i, 4 + (i % 7),
+                                         tau_max=int(mean_base + 3.1 * i
+                                                     + 40)),
+                       bin_width=1.0, container_runtime=4.0 + (i % 3),
+                       sample_count=5),
+                   elapsed=float(i % 11),
+                   extra_demand=float(i % 4))
+        for i in range(n)
+    ]
+
+
+def plan_bytes(plan) -> bytes:
+    return json.dumps(plan.to_dict(), sort_keys=True).encode()
+
+
+class TestParallelDeterminism:
+    def test_worker_counts_are_byte_identical_to_serial(self):
+        jobs = make_jobs(48)
+        serial = IncrementalPlanner(RushPlanner(24), warm_start=False)
+        reference = plan_bytes(serial.plan(jobs))
+        for workers in (1, 2, 4):
+            with ParallelPlanner(RushPlanner(24), workers=workers,
+                                 warm_start=False) as parallel:
+                assert plan_bytes(parallel.plan(jobs)) == reference, workers
+
+    def test_second_round_presolves_from_memo(self):
+        jobs = make_jobs(12)
+        with ParallelPlanner(RushPlanner(24), workers=2,
+                             warm_start=False) as parallel:
+            first = plan_bytes(parallel.plan(jobs))
+            rows_after_first = parallel.pool_rows
+            second = plan_bytes(parallel.plan(jobs))
+            assert first == second
+            # Clean estimates never re-enter the pool.
+            assert parallel.pool_rows == rows_after_first
+            assert parallel.presolve_hits == 12
+
+    def test_store_shares_solves_across_planners(self, tmp_path):
+        jobs = make_jobs(20)
+        path = str(tmp_path / "wcde.sqlite")
+        serial = IncrementalPlanner(RushPlanner(24), warm_start=False)
+        reference = plan_bytes(serial.plan(jobs))
+        with SqliteWcdeStore(path) as store:
+            with ParallelPlanner(RushPlanner(24), workers=2,
+                                 warm_start=False, store=store) as first:
+                assert plan_bytes(first.plan(jobs)) == reference
+                assert first.pool_rows == 20 and first.store_hits == 0
+            assert len(store) == 20
+        # A fresh planner (a "restart") answers everything from disk.
+        with SqliteWcdeStore(path) as store:
+            with ParallelPlanner(RushPlanner(24), workers=2,
+                                 warm_start=False, store=store) as second:
+                assert plan_bytes(second.plan(jobs)) == reference
+                assert second.pool_rows == 0 and second.store_hits == 20
+
+    def test_forget_and_reset_mirror_incremental(self):
+        jobs = make_jobs(6)
+        with ParallelPlanner(RushPlanner(24), workers=1,
+                             warm_start=False) as parallel:
+            parallel.plan(jobs)
+            parallel.forget(jobs[0].job_id)
+            assert parallel._incremental.pending_jobs(jobs) == [jobs[0]]
+            parallel.reset()
+            assert parallel._incremental.pending_jobs(jobs) == jobs
+
+
+class TestSqliteRoundTrip:
+    def test_wcde_result_is_lossless(self, tmp_path):
+        """Stored integers fully determine the rehydrated result."""
+        reference = Pmf.from_gaussian(50, 9, tau_max=140)
+        theta, delta = 0.9, 0.7
+        fresh = solve_wcde(reference, theta, delta)
+        with SqliteWcdeStore(str(tmp_path / "w.sqlite")) as store:
+            assert store.load(reference, theta, delta) is None
+            store.save(reference, theta, delta, fresh)
+            loaded = store.load(reference, theta, delta)
+        assert loaded is not None
+        assert loaded.eta_bin == fresh.eta_bin
+        assert loaded.reference_quantile == fresh.reference_quantile
+        assert loaded.iterations == fresh.iterations
+        # The lazy derivations rebuild bit-identically.
+        assert loaded.worst_kl == fresh.worst_kl
+        assert (loaded.worst_pmf.probs == fresh.worst_pmf.probs).all()
+
+    def test_keys_are_content_addressed(self, tmp_path):
+        reference = Pmf.from_gaussian(50, 9, tau_max=140)
+        result = solve_wcde(reference, 0.9, 0.7, need_worst_pmf=False)
+        with SqliteWcdeStore(str(tmp_path / "w.sqlite")) as store:
+            store.save(reference, 0.9, 0.7, result)
+            # Same content under a distinct object still hits.
+            clone = Pmf(reference.probs)
+            assert store.load(clone, 0.9, 0.7) is not None
+            # Different theta/delta are distinct rows.
+            assert store.load(reference, 0.8, 0.7) is None
+            assert store.load(reference, 0.9, 0.5) is None
+
+    def test_memory_store_is_private(self):
+        reference = Pmf.from_gaussian(30, 5, tau_max=80)
+        result = solve_wcde(reference, 0.9, 0.7, need_worst_pmf=False)
+        a, b = SqliteWcdeStore(), SqliteWcdeStore()
+        a.save(reference, 0.9, 0.7, result)
+        assert len(a) == 1 and len(b) == 0
+        a.close(), b.close()
+
+
+class TestValidationAndBudget:
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            ParallelPlanner(RushPlanner(24), workers=0)
+
+    def test_requires_a_wcde_cache(self):
+        with pytest.raises(ConfigurationError):
+            ParallelPlanner(RushPlanner(24, wcde_cache_size=0), workers=2)
+
+    def test_bad_time_budget_rejected(self):
+        with ParallelPlanner(RushPlanner(24), workers=1) as parallel:
+            with pytest.raises(ConfigurationError):
+                parallel.plan(make_jobs(2), time_budget=0.0)
+
+    def test_tiny_budget_raises_solver_budget_error(self):
+        with ParallelPlanner(RushPlanner(24), workers=1) as parallel:
+            with pytest.raises(SolverBudgetError):
+                parallel.plan(make_jobs(40), time_budget=1e-9)
+
+    def test_close_is_idempotent(self):
+        parallel = ParallelPlanner(RushPlanner(24), workers=1)
+        parallel.plan(make_jobs(3))
+        parallel.close()
+        parallel.close()
+
+
+class TestCachePeekInstall:
+    def test_peek_does_not_touch_counters(self):
+        planner = RushPlanner(24)
+        cache = planner.wcde_cache
+        pmf = Pmf.from_gaussian(40, 8, tau_max=110)
+        assert cache.peek(pmf, 0.9, 0.7) is None
+        cache.solve(pmf, 0.9, 0.7)
+        hits, misses = cache.hits, cache.misses
+        assert cache.peek(pmf, 0.9, 0.7) is not None
+        assert (cache.hits, cache.misses) == (hits, misses)
+
+    def test_install_seeds_a_future_hit(self):
+        planner = RushPlanner(24)
+        cache = planner.wcde_cache
+        pmf = Pmf.from_gaussian(40, 8, tau_max=110)
+        result = solve_wcde(pmf, 0.9, 0.7, need_worst_pmf=False)
+        cache.install(pmf, 0.9, 0.7, result)
+        assert (cache.hits, cache.misses) == (0, 0)
+        assert cache.solve(pmf, 0.9, 0.7) is result
+        assert (cache.hits, cache.misses) == (1, 0)
+
+    def test_install_respects_the_lru_bound(self):
+        from repro.core.wcde import WcdeCache
+
+        cache = WcdeCache(maxsize=2)
+        for mean in (20, 30, 40):
+            pmf = Pmf.from_gaussian(mean, 4, tau_max=90)
+            cache.install(pmf, 0.9, 0.7,
+                          solve_wcde(pmf, 0.9, 0.7, need_worst_pmf=False))
+        assert len(cache) == 2
