@@ -14,6 +14,12 @@ from repro.analysis.report import (
     format_number,
     format_table,
 )
+from repro.analysis.scenario import (
+    differential_table,
+    render_scenario_text,
+    save_scenario_json,
+    scenario_summary_table,
+)
 from repro.analysis.stats import (
     BoxplotStats,
     Summary,
@@ -44,4 +50,8 @@ __all__ = [
     "job_legend",
     "Experiment",
     "ExperimentResults",
+    "scenario_summary_table",
+    "differential_table",
+    "render_scenario_text",
+    "save_scenario_json",
 ]

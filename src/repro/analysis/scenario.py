@@ -1,0 +1,99 @@
+"""Text and JSON rendering of scenario-library runs (`rush scenarios`).
+
+This module is the analysis-side counterpart of
+:mod:`repro.workload.scenarios`: it turns a
+:class:`~repro.workload.scenarios.ScenarioOutcome` into the per-policy
+differential table, the calibration footer, and the JSON artifact the
+CI ``scenarios-smoke`` lane uploads.  Everything rendered here is
+deterministic — the digest is part of the output precisely so two runs
+of ``rush scenarios run <name> --seed N`` can be compared byte-for-byte
+(wall-clock planner timings are excluded from both text and JSON).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, List, Sequence, Union
+
+from repro.analysis.report import format_table
+
+if TYPE_CHECKING:  # rendering only consumes the outcome's surface
+    from repro.workload.scenarios import ScenarioOutcome
+
+__all__ = [
+    "scenario_summary_table",
+    "differential_table",
+    "render_scenario_text",
+    "save_scenario_json",
+]
+
+
+def scenario_summary_table(outcome: "ScenarioOutcome") -> str:
+    """Per-policy outcome table over the held-out suffix."""
+    rows: List[Sequence[object]] = []
+    for policy in sorted(outcome.results):
+        result = outcome.results[policy]
+        n = len(result.records)
+        rows.append([
+            policy.upper(),
+            f"{result.completed_count}/{n}",
+            float(result.utilization),
+            float(outcome.mean_utility(policy)),
+            float(result.total_utility()),
+            float(result.zero_utility_fraction),
+        ])
+    return format_table(
+        ["policy", "completed", "utilization", "mean utility",
+         "total utility", "zero-utility frac"], rows, digits=3)
+
+
+def differential_table(outcome: "ScenarioOutcome") -> str:
+    """RUSH's mean-utility margin over each baseline (positive = ahead)."""
+    margins = outcome.utility_margins()
+    rows: List[Sequence[object]] = []
+    for policy in sorted(margins):
+        margin = margins[policy]
+        rows.append([
+            policy.upper(),
+            float(outcome.mean_utility(policy)),
+            float(margin),
+            "ahead" if margin >= 0 else "BEHIND",
+        ])
+    return format_table(
+        ["baseline", "mean utility", "rush margin", "verdict"],
+        rows, digits=3)
+
+
+def render_scenario_text(outcome: "ScenarioOutcome") -> str:
+    """The full `rush scenarios run` report body."""
+    scenario = outcome.scenario
+    variant = "fast" if outcome.fast else "full"
+    lines = [
+        f"scenario {scenario.name} ({variant}, seed={outcome.seed}): "
+        f"{scenario.description}",
+        f"warm-up jobs={outcome.warmup_jobs}  "
+        f"held-out jobs={outcome.holdout_jobs}  "
+        f"capacity={scenario.capacity(outcome.fast)}  "
+        f"fitted classes={len(outcome.fit_summary)}",
+        "",
+        scenario_summary_table(outcome),
+        "",
+        differential_table(outcome),
+    ]
+    report = outcome.calibration
+    if report is not None and report.rows:
+        lines += ["", (
+            f"calibration: theta={report.theta:.2f}  "
+            f"coverage last={report.coverage_last:.2f}  "
+            f"mean error={report.mean_error_last:+.1f} slots  "
+            f"{'CALIBRATED' if report.calibrated else 'MISCALIBRATED'}")]
+    lines += ["", f"digest: {outcome.digest()}"]
+    return "\n".join(lines)
+
+
+def save_scenario_json(outcome: "ScenarioOutcome",
+                       path: Union[str, "object"]) -> None:
+    """Write the scenario's JSON artifact (sorted keys, trailing newline)."""
+    with open(str(path), "w", encoding="utf-8") as handle:
+        json.dump(outcome.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -21,6 +21,13 @@ The subcommands cover the workflow an operator would actually use:
 ``rush chaos``
     Sweep a fault plan through a ladder of intensities and print the
     policy's utility/SLO degradation curve.
+``rush ingest``
+    Parse a Standard Workload Format (SWF) archive, map it onto job
+    specs, and freeze the result as a JSON-lines trace.
+``rush scenarios``
+    The frozen scenario library: ``list`` the shipped scenarios,
+    ``run`` one (or ``all``) as a seeded differential benchmark of RUSH
+    against the baselines, with an optional per-scenario JSON artifact.
 ``rush lint``
     Run the rushlint static-analysis pass (domain invariants: seeded
     RNG streams, no wall clocks, float-equality discipline, ...) over a
@@ -57,9 +64,13 @@ from repro.schedulers import (
     SpeculativeScheduler,
 )
 from repro.cluster.simulator import run_simulation
+from repro.analysis.scenario import render_scenario_text, save_scenario_json
 from repro.ui.status import (render_fault_text, render_profile_text,
                              render_status_html, render_status_text)
 from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+from repro.workload.scenarios import (DEFAULT_BASELINES, KNOWN_BASELINES,
+                                      SCENARIOS, run_scenario)
+from repro.workload.swf import SwfMapConfig, load_swf_workload
 from repro.workload.trace import load_trace, save_trace
 
 __all__ = ["main", "build_parser"]
@@ -196,6 +207,48 @@ def build_parser() -> argparse.ArgumentParser:
                             "censored at the cap)")
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument("--out", help="write the sweep report JSON here")
+
+    ingest = sub.add_parser(
+        "ingest", help="parse an SWF archive into a JSON-lines trace")
+    ingest.add_argument("--swf", required=True,
+                        help="Standard Workload Format archive to parse")
+    ingest.add_argument("--out", required=True, help="trace file to write")
+    ingest.add_argument("--capacity", type=int, default=16,
+                        help="simulated cluster width the jobs are scaled to")
+    ingest.add_argument("--slot-seconds", type=float, default=60.0,
+                        help="trace seconds per simulator slot")
+    ingest.add_argument("--max-tasks", type=int, default=16,
+                        help="cap on tasks per mapped job")
+    ingest.add_argument("--ratio", type=float, default=2.0,
+                        help="budget / benchmarked-runtime ratio")
+    ingest.add_argument("--max-jobs", type=int, default=None,
+                        help="keep only the first N mappable jobs")
+    ingest.add_argument("--lenient", action="store_true",
+                        help="skip malformed records and unknown header "
+                             "directives instead of raising")
+
+    scen = sub.add_parser(
+        "scenarios", help="the frozen scenario library (list / run)")
+    scen_sub = scen.add_subparsers(dest="scenarios_command", required=True)
+    scen_sub.add_parser("list", help="list the shipped scenarios")
+    srun = scen_sub.add_parser(
+        "run", help="run one scenario (or 'all') as a differential "
+                    "benchmark of RUSH vs the baselines")
+    srun.add_argument("name", choices=sorted(SCENARIOS) + ["all"])
+    srun.add_argument("--seed", type=int, default=0)
+    srun.add_argument("--full", action="store_true",
+                      help="paper-scale variant (default: the fast CI "
+                           "variant)")
+    srun.add_argument("--baselines", nargs="+",
+                      choices=sorted(KNOWN_BASELINES),
+                      default=list(DEFAULT_BASELINES))
+    srun.add_argument("--json", dest="json_out",
+                      help="write the scenario's JSON artifact here "
+                           "(single scenario only)")
+    srun.add_argument("--out-dir",
+                      help="write per-scenario JSON artifacts "
+                           "<name>-<variant>-seed<N>.json into this "
+                           "directory")
 
     lint = sub.add_parser(
         "lint", help="run the rushlint domain static-analysis pass")
@@ -402,6 +455,55 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    config = SwfMapConfig(
+        capacity=args.capacity, slot_seconds=args.slot_seconds,
+        max_tasks=args.max_tasks, budget_ratio=args.ratio,
+        max_jobs=args.max_jobs)
+    specs = load_swf_workload(args.swf, config=config,
+                              strict=not args.lenient)
+    save_trace(specs, args.out)
+    total = sum(s.total_work for s in specs)
+    print(f"ingested {len(specs)} jobs ({total} container-slots of work) "
+          f"from {args.swf} to {args.out}")
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    if args.scenarios_command == "list":
+        rows = []
+        for name in sorted(SCENARIOS):
+            scenario = SCENARIOS[name]
+            rows.append([scenario.name, scenario.kind,
+                         scenario.capacity_fast, scenario.capacity_full,
+                         scenario.description])
+        print(format_table(
+            ["scenario", "kind", "cap (fast)", "cap (full)", "description"],
+            rows))
+        return 0
+    names = sorted(SCENARIOS) if args.name == "all" else [args.name]
+    if args.json_out and len(names) > 1:
+        raise ReproError("--json takes a single scenario; "
+                         "use --out-dir with 'all'")
+    variant = "full" if args.full else "fast"
+    for index, name in enumerate(names):
+        outcome = run_scenario(name, seed=args.seed, fast=not args.full,
+                               baselines=tuple(args.baselines))
+        if index:
+            print("\n" + "=" * 72 + "\n")
+        print(render_scenario_text(outcome))
+        if args.json_out:
+            save_scenario_json(outcome, args.json_out)
+            print(f"\nwrote scenario JSON to {args.json_out}")
+        if args.out_dir:
+            os.makedirs(args.out_dir, exist_ok=True)
+            path = os.path.join(
+                args.out_dir, f"{name}-{variant}-seed{args.seed}.json")
+            save_scenario_json(outcome, path)
+            print(f"\nwrote scenario JSON to {path}")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "simulate": _cmd_simulate,
@@ -409,6 +511,8 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "plan": _cmd_plan,
     "chaos": _cmd_chaos,
+    "ingest": _cmd_ingest,
+    "scenarios": _cmd_scenarios,
     "lint": run_lint_command,
 }
 

@@ -24,6 +24,31 @@ class ConfigurationError(ReproError):
     """
 
 
+class TraceFormatError(ConfigurationError):
+    """A workload trace file violates its on-disk format.
+
+    Raised by the SWF reader (:mod:`repro.workload.swf`) for truncated
+    records, non-numeric fields, out-of-order submit times and unknown
+    header directives.  Always carries the 1-based ``line`` number (and,
+    when known, the ``path``) of the offending input, so ingestion
+    failures point at the exact record — never a bare :class:`ValueError`
+    from deep inside a float parse.
+    """
+
+    def __init__(self, message: str, *, line: "int | None" = None,
+                 path: "str | None" = None) -> None:
+        self.line = line
+        self.path = path
+        where = ""
+        if path is not None:
+            where += f"{path}:"
+        if line is not None:
+            where += f"line {line}: "
+        elif where:
+            where += " "
+        super().__init__(where + message)
+
+
 class DistributionError(ReproError):
     """A probability distribution is malformed or unusable.
 

@@ -1,7 +1,8 @@
 """Distribution estimation: PMF toolkit and the DE unit classes."""
 
 from repro.estimation.base import DemandEstimate, DistributionEstimator
-from repro.estimation.empirical import EmpiricalEstimator
+from repro.estimation.empirical import (EmpiricalEstimator,
+                                        TraceFittedEstimators, split_warmup)
 from repro.estimation.ewma import EwmaGaussianEstimator
 from repro.estimation.failure import FailureAwareEstimator
 from repro.estimation.gaussian import GaussianEstimator
@@ -16,6 +17,8 @@ __all__ = [
     "MeanTimeEstimator",
     "GaussianEstimator",
     "EmpiricalEstimator",
+    "TraceFittedEstimators",
+    "split_warmup",
     "EwmaGaussianEstimator",
     "FailureAwareEstimator",
 ]

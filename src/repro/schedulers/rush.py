@@ -48,6 +48,7 @@ from __future__ import annotations
 import math
 from typing import Callable, Dict, Optional, Set, Tuple
 
+from repro.cluster.job import JobSpec
 from repro.core.degradation import DegradationPolicy
 from repro.core.parallel import ParallelPlanner, SqliteWcdeStore
 from repro.core.planner import (IncrementalPlanner, PlannerJob, RushPlanner,
@@ -65,6 +66,7 @@ __all__ = ["RushScheduler"]
 _DIRTY_BUCKETS = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
 
 EstimatorFactory = Callable[[Optional[float]], DistributionEstimator]
+SpecEstimatorFactory = Callable[[JobSpec], DistributionEstimator]
 
 
 def _default_estimator_factory(prior_runtime: Optional[float]) -> DistributionEstimator:
@@ -87,6 +89,13 @@ class RushScheduler(Scheduler):
     estimator_factory:
         Builds one DE unit per job; receives the job's ``prior_runtime``
         (may be None).  Defaults to the Gaussian estimator.
+    spec_estimator_factory:
+        Optional richer factory receiving the full :class:`JobSpec`
+        (template, priors, budget) instead of just the runtime prior.
+        Takes precedence over ``estimator_factory`` when set — this is
+        how trace-fitted per-class estimators
+        (:class:`~repro.estimation.empirical.TraceFittedEstimators`)
+        plug in without widening the legacy factory signature.
     default_prior_runtime:
         Fallback per-task runtime prior (slots) for jobs that ship none.
     work_conserving:
@@ -137,6 +146,7 @@ class RushScheduler(Scheduler):
     def __init__(self, *, theta: float = 0.9, delta: float = 0.7,
                  tolerance: float = 0.05,
                  estimator_factory: EstimatorFactory = _default_estimator_factory,
+                 spec_estimator_factory: Optional[SpecEstimatorFactory] = None,
                  default_prior_runtime: float = 10.0,
                  work_conserving: bool = True,
                  compensate_runtime: bool = True,
@@ -155,6 +165,7 @@ class RushScheduler(Scheduler):
         self._tolerance = tolerance
         self._compensate_runtime = compensate_runtime
         self._estimator_factory = estimator_factory
+        self._spec_estimator_factory = spec_estimator_factory
         self._default_prior = default_prior_runtime
         self._work_conserving = work_conserving
         self._incremental_enabled = incremental
@@ -220,10 +231,13 @@ class RushScheduler(Scheduler):
             self._wcde_store = None
 
     def on_job_arrival(self, job) -> None:
-        prior = job.spec.prior_runtime
-        if prior is None:
-            prior = self._default_prior
-        self._estimators[job.job_id] = self._estimator_factory(prior)
+        if self._spec_estimator_factory is not None:
+            self._estimators[job.job_id] = self._spec_estimator_factory(job.spec)
+        else:
+            prior = job.spec.prior_runtime
+            if prior is None:
+                prior = self._default_prior
+            self._estimators[job.job_id] = self._estimator_factory(prior)
         self._dirty.add(job.job_id)
 
     def on_task_launched(self, job, task) -> None:

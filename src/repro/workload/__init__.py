@@ -1,6 +1,24 @@
-"""Workload generation: PUMA-like templates, Poisson arrivals, traces."""
+"""Workload layer: PUMA-like templates, arrivals, traces, SWF, scenarios."""
 
 from repro.workload.generator import WorkloadConfig, WorkloadGenerator, generate_workload
+from repro.workload.scenarios import (
+    SCENARIOS,
+    Scenario,
+    ScenarioOutcome,
+    run_scenario,
+    scenario_by_name,
+)
+from repro.workload.swf import (
+    SwfJob,
+    SwfMapConfig,
+    SwfTrace,
+    load_swf_workload,
+    parse_swf,
+    parse_swf_lines,
+    parse_swf_text,
+    rebase_arrivals,
+    swf_to_specs,
+)
 from repro.workload.templates import PUMA_TEMPLATES, JobTemplate, template_by_name
 from repro.workload.trace import load_trace, save_trace, spec_from_dict, spec_to_dict
 
@@ -15,4 +33,18 @@ __all__ = [
     "load_trace",
     "spec_to_dict",
     "spec_from_dict",
+    "SwfJob",
+    "SwfTrace",
+    "SwfMapConfig",
+    "parse_swf",
+    "parse_swf_lines",
+    "parse_swf_text",
+    "swf_to_specs",
+    "load_swf_workload",
+    "rebase_arrivals",
+    "Scenario",
+    "ScenarioOutcome",
+    "SCENARIOS",
+    "scenario_by_name",
+    "run_scenario",
 ]

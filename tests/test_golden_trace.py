@@ -149,3 +149,45 @@ class TestPlanGolden:
             proc = run_cli("plan", "--trace", str(TRACE), "--json", str(out))
             assert proc.returncode == 0, proc.stderr
         assert outs[0].read_bytes() == outs[1].read_bytes()
+
+
+class TestSwfGolden:
+    """The bundled SWF excerpt pins the whole parse→map pipeline.
+
+    Regenerate (only after an intentional mapping-rule change) with::
+
+        PYTHONPATH=src python -c "
+        from repro.workload.swf import load_swf_workload
+        from repro.workload.trace import save_trace
+        save_trace(load_swf_workload('src/repro/workload/data/hpc_excerpt.swf'),
+                   'tests/golden/swf_excerpt.jsonl')"
+    """
+
+    SWF_GOLDEN = GOLDEN / "swf_excerpt.jsonl"
+
+    def fixture_path(self):
+        from repro.workload.scenarios import bundled_swf_path
+
+        return bundled_swf_path()
+
+    def test_bundled_excerpt_maps_to_golden_specs(self, tmp_path):
+        from repro.workload.swf import load_swf_workload
+
+        specs = load_swf_workload(self.fixture_path())
+        out = tmp_path / "swf_excerpt.jsonl"
+        save_trace(specs, out)
+        assert out.read_bytes() == self.SWF_GOLDEN.read_bytes()
+
+    def test_golden_swf_specs_load_cleanly(self):
+        specs = load_trace(self.SWF_GOLDEN)
+        assert len(specs) == 79
+        assert [s.job_id for s in specs] == sorted(s.job_id for s in specs)
+        assert {s.sensitivity for s in specs} == {
+            "critical", "sensitive", "insensitive"}
+
+    def test_ingest_cli_round_trips_the_golden(self, tmp_path):
+        out = tmp_path / "ingested.jsonl"
+        proc = run_cli("ingest", "--swf", str(self.fixture_path()),
+                       "--out", str(out))
+        assert proc.returncode == 0, proc.stderr
+        assert out.read_bytes() == self.SWF_GOLDEN.read_bytes()

@@ -1,0 +1,120 @@
+"""Unit tests for trace-history-fitted empirical estimators.
+
+:func:`split_warmup` and :class:`TraceFittedEstimators` are the bridge
+between ingested traces and the RUSH planner's DE units; everything here
+must be deterministic so scenario digests stay bit-identical.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EstimationError
+from repro.estimation.empirical import (EmpiricalEstimator,
+                                        TraceFittedEstimators, split_warmup)
+from repro.cluster.job import JobSpec
+from repro.utility.constant import ConstantUtility
+
+
+def make_spec(job_id, arrival, durations, template):
+    return JobSpec(job_id=job_id, arrival=arrival,
+                   task_durations=tuple(durations),
+                   utility=ConstantUtility(priority=1.0),
+                   template=template)
+
+
+@pytest.fixture
+def workload():
+    return [make_spec(f"job-{k:02d}", k, [2 + k % 3, 4], "grep" if k % 2 else "sort")
+            for k in range(10)]
+
+
+class TestSplitWarmup:
+    def test_splits_by_arrival_order(self, workload):
+        warm, hold = split_warmup(list(reversed(workload)), 0.4)
+        assert [s.job_id for s in warm] == [s.job_id for s in workload[:4]]
+        assert [s.job_id for s in hold] == [s.job_id for s in workload[4:]]
+
+    def test_every_side_gets_at_least_one_job(self, workload):
+        warm, hold = split_warmup(workload[:2], 0.01)
+        assert len(warm) == 1 and len(hold) == 1
+        warm, hold = split_warmup(workload[:2], 0.99)
+        assert len(warm) == 1 and len(hold) == 1
+
+    def test_single_job_goes_to_warmup(self, workload):
+        warm, hold = split_warmup(workload[:1])
+        assert len(warm) == 1 and hold == []
+
+    def test_fraction_bounds_validated(self, workload):
+        for bad in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(EstimationError):
+                split_warmup(workload, bad)
+
+    def test_ties_broken_by_job_id(self):
+        specs = [make_spec("b", 5, [1], ""), make_spec("a", 5, [1], "")]
+        warm, hold = split_warmup(specs, 0.5)
+        assert warm[0].job_id == "a"
+
+
+class TestTraceFittedEstimators:
+    def test_fit_pools_durations_per_template(self, workload):
+        fit = TraceFittedEstimators.fit(workload)
+        assert fit.classes == ["grep", "sort"]
+        summary = fit.summary()
+        assert summary["sort"]["samples"] == 10.0  # 5 jobs x 2 tasks
+        assert summary["grep"]["samples"] == 10.0
+
+    def test_untemplated_jobs_pool_under_sentinel_label(self):
+        fit = TraceFittedEstimators.fit([make_spec("x", 0, [3, 3], "")])
+        assert fit.classes == ["untemplated"]
+
+    def test_thinning_is_deterministic_and_capped(self):
+        samples = {"big": list(range(1, 1001))}
+        one = TraceFittedEstimators(samples, max_seed_samples=16)
+        two = TraceFittedEstimators(samples, max_seed_samples=16)
+        assert one.seed_samples("big") == two.seed_samples("big")
+        assert len(one.seed_samples("big")) == 16
+        pool = one.seed_samples("big")
+        assert pool == tuple(sorted(pool))  # evenly spaced ranks, sorted
+        assert pool[0] == 1.0 and pool[-1] == 1000.0
+
+    def test_unseen_class_falls_back_to_cross_class_pool(self, workload):
+        fit = TraceFittedEstimators.fit(workload)
+        fallback = fit.seed_samples("never-seen")
+        assert fallback
+        assert set(fallback) <= set(fit.seed_samples("grep"))\
+            | set(fit.seed_samples("sort"))
+
+    def test_estimator_for_seeds_class_history(self, workload):
+        fit = TraceFittedEstimators.fit(workload)
+        spec = make_spec("new", 99, [5], "sort")
+        estimator = fit.estimator_for(spec)
+        assert isinstance(estimator, EmpiricalEstimator)
+        assert estimator.sample_count == len(fit.seed_samples("sort"))
+        # Online observation accumulates on top of the trace history.
+        estimator.observe(7.0)
+        assert estimator.sample_count == len(fit.seed_samples("sort")) + 1
+
+    def test_estimator_for_uses_spec_prior_when_present(self):
+        fit = TraceFittedEstimators({}, default_prior=10.0)
+        spec = JobSpec(job_id="p", arrival=0, task_durations=(1,),
+                       utility=ConstantUtility(priority=1.0),
+                       template="nowhere", prior_runtime=42.0)
+        estimate = fit.estimator_for(spec).estimate(pending_tasks=1)
+        assert estimate.container_runtime == pytest.approx(42.0)
+
+    def test_empty_fit_falls_back_to_default_prior(self):
+        fit = TraceFittedEstimators({}, default_prior=10.0)
+        spec = make_spec("cold", 0, [1], "anything")
+        estimate = fit.estimator_for(spec).estimate(pending_tasks=2)
+        assert estimate.container_runtime == pytest.approx(10.0)
+
+    def test_nonpositive_samples_are_dropped(self):
+        fit = TraceFittedEstimators({"odd": [0.0, -3.0, 4.0]})
+        assert fit.seed_samples("odd") == (4.0,)
+
+    def test_config_validation(self):
+        with pytest.raises(EstimationError):
+            TraceFittedEstimators({}, max_seed_samples=0)
+        with pytest.raises(EstimationError):
+            TraceFittedEstimators({}, default_prior=0.0)

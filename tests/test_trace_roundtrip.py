@@ -1,0 +1,134 @@
+"""Hypothesis round-trip properties for the trace serialization layer.
+
+``spec_to_dict`` / ``spec_from_dict`` and ``save_trace`` / ``load_trace``
+must be lossless for every constructible :class:`JobSpec` — including
+the edge values real configs produce: zero priorities, infinite budgets
+(serialized as ``null``), NaN benchmark runtimes, piecewise utilities
+with a single breakpoint, and unicode job ids.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.job import JobSpec
+from repro.utility.constant import ConstantUtility
+from repro.utility.linear import LinearUtility
+from repro.utility.piecewise import PiecewiseUtility
+from repro.utility.sigmoid import SigmoidUtility
+from repro.utility.step import StepUtility
+from repro.workload.trace import (load_trace, save_trace, spec_from_dict,
+                                  spec_to_dict)
+
+finite = dict(allow_nan=False, allow_infinity=False)
+
+#: Positive floats in a range where JSON repr round-trips are exercised
+#: across magnitudes (subnormals excluded; they are not config inputs).
+positive = st.floats(min_value=1e-6, max_value=1e9, **finite)
+non_negative = st.just(0.0) | positive
+
+utilities = st.one_of(
+    st.builds(ConstantUtility, priority=non_negative),
+    st.builds(StepUtility, budget=non_negative, priority=positive),
+    st.builds(LinearUtility, budget=non_negative, priority=non_negative,
+              beta=positive),
+    st.builds(SigmoidUtility, budget=non_negative, priority=positive,
+              beta=st.floats(min_value=1e-3, max_value=50.0, **finite)),
+    st.tuples(
+        st.lists(non_negative, min_size=1, max_size=5, unique=True),
+        st.lists(non_negative, min_size=5, max_size=5),
+    ).map(lambda tu: PiecewiseUtility(list(zip(
+        sorted(tu[0]), sorted(tu[1], reverse=True))))),
+)
+
+job_ids = st.text(
+    st.characters(blacklist_categories=("Cs",)), min_size=1, max_size=24)
+
+specs = st.builds(
+    JobSpec,
+    job_id=job_ids,
+    arrival=st.integers(min_value=0, max_value=10**9),
+    task_durations=st.lists(st.integers(min_value=1, max_value=10**5),
+                            min_size=1, max_size=6).map(tuple),
+    utility=utilities,
+    priority=non_negative,
+    budget=st.just(math.inf) | positive,
+    benchmark_runtime=st.just(math.nan) | positive,
+    sensitivity=st.sampled_from(["critical", "sensitive", "insensitive"]),
+    template=st.text(max_size=16),
+    prior_runtime=st.none() | positive,
+    failure_prob=st.floats(min_value=0.0, max_value=0.99, **finite),
+)
+
+
+class TestDictRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(specs)
+    def test_spec_dict_round_trip_is_lossless(self, spec):
+        clone = spec_from_dict(spec_to_dict(spec))
+        assert spec_to_dict(clone) == spec_to_dict(spec)
+        assert clone.task_durations == spec.task_durations
+
+    @settings(max_examples=100, deadline=None)
+    @given(specs)
+    def test_round_trip_preserves_utility_semantics(self, spec):
+        clone = spec_from_dict(spec_to_dict(spec))
+        for t in (0.0, spec.budget if math.isfinite(spec.budget) else 1e6,
+                  123.456):
+            assert clone.utility.value(t) == spec.utility.value(t)
+
+
+class TestFileRoundTrip:
+    @settings(max_examples=25, deadline=None)
+    @given(spec_list=st.lists(specs, min_size=1, max_size=5,
+                              unique_by=lambda s: s.job_id))
+    def test_save_load_save_is_byte_stable(self, tmp_path_factory, spec_list):
+        tmp = tmp_path_factory.mktemp("trace")
+        first, second = tmp / "a.jsonl", tmp / "b.jsonl"
+        save_trace(spec_list, first)
+        loaded = load_trace(first)
+        save_trace(loaded, second)
+        assert first.read_bytes() == second.read_bytes()
+        assert [spec_to_dict(s) for s in loaded] == [
+            spec_to_dict(s) for s in spec_list]
+
+
+class TestEdgeValues:
+    """Deliberate boundary cases, pinned outside the property search."""
+
+    def edge_specs(self):
+        yield JobSpec("zero-priority", 0, (1,),
+                      ConstantUtility(priority=0.0), priority=0.0)
+        yield JobSpec("infinite-budget", 0, (1, 1),
+                      StepUtility(budget=0.0, priority=1e-6),
+                      budget=math.inf, benchmark_runtime=math.nan)
+        yield JobSpec("one-breakpoint", 10**9, (10**5,),
+                      PiecewiseUtility([(0.0, 0.0)]),
+                      prior_runtime=1e-6, failure_prob=0.99)
+        yield JobSpec("unicode-θδ", 1, (1,),
+                      SigmoidUtility(budget=0.0, priority=1e-9, beta=50.0),
+                      template="θ-template")
+
+    def test_edge_specs_round_trip(self, tmp_path):
+        originals = list(self.edge_specs())
+        path = tmp_path / "edges.jsonl"
+        save_trace(originals, path)
+        loaded = load_trace(path)
+        assert [spec_to_dict(s) for s in loaded] == [
+            spec_to_dict(s) for s in originals]
+        rewritten = tmp_path / "edges2.jsonl"
+        save_trace(loaded, rewritten)
+        assert path.read_bytes() == rewritten.read_bytes()
+
+    def test_infinite_budget_serializes_as_null(self):
+        data = spec_to_dict(JobSpec("inf", 0, (1,),
+                                    ConstantUtility(priority=1.0)))
+        assert data["budget"] is None
+        assert data["benchmark_runtime"] is None
+        clone = spec_from_dict(data)
+        assert clone.budget == math.inf
+        assert math.isnan(clone.benchmark_runtime)
