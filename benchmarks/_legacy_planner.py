@@ -99,6 +99,9 @@ def solve_wcde(reference: Pmf, theta: float, delta: float) -> WcdeResult:
     if theta >= 1.0:
         eta = ceiling
         iterations = 0
+    # rushlint: disable=RL003 (exact zero sentinel, mirroring the same
+    # suppressed comparison in the live WCDE: 1 - theta is exactly 0.0
+    # only when theta is exactly 1.0, already short-circuited above)
     elif delta == 0.0 or anchor >= ceiling:
         eta = anchor
         iterations = 0

@@ -40,9 +40,11 @@ import numpy as np
 from repro.obs import get_metrics
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.container import Container
     from repro.cluster.job import SimJob
     from repro.cluster.simulator import ClusterSimulator
     from repro.cluster.task import Task
+    from repro.schedulers.base import Scheduler
 
 __all__ = ["FaultEvent", "FaultLog", "FaultContext", "FaultInjector"]
 
@@ -62,7 +64,7 @@ class FaultEvent:
     target: str
     detail: Dict[str, object] = field(default_factory=dict)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, object]:
         return {"slot": self.slot, "kind": self.kind, "target": self.target,
                 "detail": dict(self.detail)}
 
@@ -113,7 +115,7 @@ class FaultLog:
             out[event.kind] = out.get(event.kind, 0) + 1
         return out
 
-    def to_dicts(self) -> List[dict]:
+    def to_dicts(self) -> List[Dict[str, object]]:
         return [e.to_dict() for e in self._events]
 
 
@@ -148,11 +150,11 @@ class FaultContext:
         return self.sim.active_jobs
 
     @property
-    def containers(self) -> list:
+    def containers(self) -> List["Container"]:
         return self.sim.containers
 
     @property
-    def scheduler(self):
+    def scheduler(self) -> "Scheduler":
         return self.sim.scheduler
 
     def record(self, kind: str, target: str, **detail: object) -> FaultEvent:
@@ -227,6 +229,6 @@ class FaultInjector:
 
     # -- serialization ----------------------------------------------------------
 
-    def params(self) -> dict:
+    def params(self) -> Dict[str, object]:
         """JSON-compatible constructor arguments (for spec round-trips)."""
         return {"rate": self.rate}

@@ -26,10 +26,14 @@ All injectors follow the decision/variation stream contract of
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Type
+from typing import TYPE_CHECKING, Dict, Mapping, Optional, Set, Type
 
 from repro.errors import ConfigurationError
 from repro.faults.base import FaultContext, FaultInjector
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.job import SimJob
+    from repro.cluster.task import Task
 
 __all__ = [
     "SpecFailureInjector",
@@ -59,7 +63,8 @@ class SpecFailureInjector(FaultInjector):
         # ``rate`` multiplies the per-spec probability (1.0 = as specified).
         super().__init__(rate)
 
-    def on_launch(self, ctx: FaultContext, job, task) -> None:
+    def on_launch(self, ctx: FaultContext, job: "SimJob",
+                  task: "Task") -> None:
         p = job.spec.failure_prob * self.rate
         if p <= 0.0:
             return
@@ -101,7 +106,7 @@ class ContainerCrashInjector(FaultInjector):
                        container=container.container_id,
                        job_id=task.job_id, revoke_slots=self.revoke_slots)
 
-    def params(self) -> dict:
+    def params(self) -> Dict[str, object]:
         return {"rate": self.rate, "revoke_slots": self.revoke_slots}
 
 
@@ -124,7 +129,7 @@ class StragglerInjector(FaultInjector):
             raise ConfigurationError(
                 f"slowdown must be > 1, got {slowdown}")
         self.slowdown = slowdown
-        self._struck: set = set()
+        self._struck: Set[str] = set()
 
     def reset(self) -> None:
         self._struck = set()
@@ -145,7 +150,7 @@ class StragglerInjector(FaultInjector):
             ctx.record(self.kind, task.task_id, job_id=task.job_id,
                        extra_slots=extra)
 
-    def params(self) -> dict:
+    def params(self) -> Dict[str, object]:
         return {"rate": self.rate, "slowdown": self.slowdown}
 
 
@@ -188,7 +193,8 @@ class DemandBurstInjector(FaultInjector):
             self._burst_until = ctx.now + self.width
             ctx.record(self.kind, "cluster", until_slot=self._burst_until)
 
-    def on_launch(self, ctx: FaultContext, job, task) -> None:
+    def on_launch(self, ctx: FaultContext, job: "SimJob",
+                  task: "Task") -> None:
         if ctx.now >= self._burst_until:
             return
         extra = max(1, int(round(task.duration * (self.magnitude - 1.0))))
@@ -197,7 +203,7 @@ class DemandBurstInjector(FaultInjector):
         ctx.record(self.kind, task.task_id, job_id=job.job_id,
                    extra_slots=extra)
 
-    def params(self) -> dict:
+    def params(self) -> Dict[str, object]:
         return {"rate": self.rate, "magnitude": self.magnitude,
                 "width": self.width}
 
@@ -222,7 +228,8 @@ class SampleCorruptionInjector(FaultInjector):
         self.low = low
         self.high = high
 
-    def on_complete(self, ctx: FaultContext, job, task) -> None:
+    def on_complete(self, ctx: FaultContext, job: "SimJob",
+                    task: "Task") -> None:
         if not self._fires(ctx):
             return
         factor = float(self.vary.uniform(self.low, self.high))
@@ -231,7 +238,7 @@ class SampleCorruptionInjector(FaultInjector):
                    factor=round(factor, 4),
                    observed=task.observed_duration)
 
-    def params(self) -> dict:
+    def params(self) -> Dict[str, object]:
         return {"rate": self.rate, "low": self.low, "high": self.high}
 
 
@@ -292,7 +299,7 @@ class SolverBudgetInjector(FaultInjector):
         arm(self.depth)
         ctx.record(self.kind, "planner", depth=self.depth)
 
-    def params(self) -> dict:
+    def params(self) -> Dict[str, object]:
         return {"rate": self.rate, "depth": self.depth}
 
 
@@ -305,7 +312,7 @@ INJECTOR_REGISTRY: Dict[str, Type[FaultInjector]] = {
 }
 
 
-def injector_from_spec(spec: dict) -> FaultInjector:
+def injector_from_spec(spec: Mapping[str, object]) -> FaultInjector:
     """Build one injector from its ``{"kind": ..., **params}`` mapping."""
     if not isinstance(spec, dict) or "kind" not in spec:
         raise ConfigurationError(

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import TYPE_CHECKING, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -123,7 +123,7 @@ class FaultPlan:
 
     # -- serialization ----------------------------------------------------------
 
-    def to_spec(self) -> dict:
+    def to_spec(self) -> Dict[str, object]:
         """The JSON-compatible spec this plan round-trips through."""
         return {
             "seed": self.seed,
@@ -133,7 +133,7 @@ class FaultPlan:
         }
 
     @classmethod
-    def from_spec(cls, spec: dict) -> "FaultPlan":
+    def from_spec(cls, spec: Mapping[str, Any]) -> "FaultPlan":
         """Build a plan from its spec mapping (see module docstring)."""
         if not isinstance(spec, dict):
             raise ConfigurationError(

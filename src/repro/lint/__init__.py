@@ -17,7 +17,9 @@ from repro.lint.config import LintConfig
 from repro.lint.framework import (Finding, Rule, RULE_REGISTRY,
                                   lint_file, lint_paths, lint_source,
                                   register_rule)
-from repro.lint import rules as _rules  # noqa: F401  (registers RL001-RL008)
+from repro.lint import rules as _rules  # noqa: F401  (registers RL001-RL010)
+from repro.lint.flow import (  # registers RL011-RL014
+    FlowRule, ProjectContext, build_index, lint_project)
 from repro.lint.reporters import (JSON_SCHEMA_VERSION, render_json,
                                   render_rule_catalog, render_text)
 
@@ -25,11 +27,15 @@ __all__ = [
     "LintConfig",
     "Finding",
     "Rule",
+    "FlowRule",
+    "ProjectContext",
     "RULE_REGISTRY",
     "register_rule",
     "lint_source",
     "lint_file",
     "lint_paths",
+    "lint_project",
+    "build_index",
     "render_text",
     "render_json",
     "render_rule_catalog",

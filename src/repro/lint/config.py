@@ -14,7 +14,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import FrozenSet, Optional, Tuple
 
-__all__ = ["LintConfig", "DETERMINISTIC_PACKAGES", "ANNOTATION_PACKAGES"]
+__all__ = ["LintConfig", "DETERMINISTIC_PACKAGES", "ANNOTATION_PACKAGES",
+           "TEST_MARKERS"]
 
 #: Sub-packages of ``repro`` whose behaviour must be a pure function of
 #: (inputs, seed): no wall clocks, no unseeded randomness.
@@ -22,11 +23,16 @@ DETERMINISTIC_PACKAGES: FrozenSet[str] = frozenset(
     {"core", "cluster", "faults", "workload", "obs"})
 
 #: Sub-packages whose public API must be fully type-annotated (RL007) —
-#: the same set ``mypy --strict`` gates in CI.
-ANNOTATION_PACKAGES: FrozenSet[str] = frozenset({"core", "estimation"})
+#: the same set ``mypy --strict`` gates in CI (the ratchet list in
+#: ``pyproject.toml``).
+ANNOTATION_PACKAGES: FrozenSet[str] = frozenset(
+    {"core", "estimation", "workload", "obs", "faults"})
 
 #: Path fragments marking benchmark/fixture files for RL008.
 BENCHMARK_MARKERS: Tuple[str, ...] = ("benchmarks", "bench_", "fixtures")
+
+#: Path fragments marking test files (RL003's assert exemption).
+TEST_MARKERS: Tuple[str, ...] = ("tests", "test_")
 
 
 @dataclass(frozen=True)
@@ -44,6 +50,7 @@ class LintConfig:
     deterministic_packages: FrozenSet[str] = DETERMINISTIC_PACKAGES
     annotation_packages: FrozenSet[str] = ANNOTATION_PACKAGES
     benchmark_markers: Tuple[str, ...] = BENCHMARK_MARKERS
+    test_markers: Tuple[str, ...] = TEST_MARKERS
     package_override: Optional[str] = None
     #: Treat every linted file as a benchmark fixture (RL008 context).
     benchmark_override: bool = False
@@ -104,6 +111,16 @@ class LintConfig:
         name = Path(path).name
         parts = Path(path).parts
         for marker in self.benchmark_markers:
+            if marker in parts or name.startswith(marker):
+                return True
+        return False
+
+    def is_test(self, path: str) -> bool:
+        """True for test files: a ``tests`` path component or a
+        ``test_*`` filename."""
+        name = Path(path).name
+        parts = Path(path).parts
+        for marker in self.test_markers:
             if marker in parts or name.startswith(marker):
                 return True
         return False

@@ -1,0 +1,126 @@
+"""The ``lint_baseline.json`` ratchet.
+
+A whole-program analyzer landing on a mature tree inevitably starts
+with a tail of pre-existing findings that are individually justified
+(observability counters on the solve path, say) but should never grow.
+The ratchet encodes that contract: the committed baseline records, per
+``(rule, path)``, how many findings are tolerated and why; CI fails on
+any finding *above* its baselined count, while counts may only go down
+(``--update-baseline`` rewrites the file from the current findings,
+preserving justifications for surviving entries, which is how the
+count ratchets toward zero).
+
+Keying on ``(rule, path)`` rather than exact messages keeps the
+baseline stable under line-number drift while still pinning the scope
+of every exemption to one rule in one file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.lint.framework import Finding
+
+__all__ = [
+    "BASELINE_VERSION",
+    "Baseline",
+    "load_baseline",
+    "write_baseline",
+    "compare_to_baseline",
+]
+
+BASELINE_VERSION = 1
+
+Key = Tuple[str, str]  # (rule_id, path)
+
+
+@dataclass
+class Baseline:
+    """Tolerated finding counts, keyed on ``(rule, path)``."""
+
+    #: (rule, path) -> tolerated count
+    counts: Dict[Key, int] = field(default_factory=dict)
+    #: (rule, path) -> human justification (free-form, review-enforced)
+    justifications: Dict[Key, str] = field(default_factory=dict)
+
+    def allowance(self, rule_id: str, path: str) -> int:
+        return self.counts.get((rule_id, path), 0)
+
+
+def load_baseline(path: str) -> Baseline:
+    """Read a baseline file; a missing file is an empty baseline."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        return Baseline()
+    baseline = Baseline()
+    for entry in payload.get("entries", ()):
+        key = (entry["rule"], entry["path"])
+        baseline.counts[key] = int(entry["count"])
+        if entry.get("justification"):
+            baseline.justifications[key] = entry["justification"]
+    return baseline
+
+
+def write_baseline(findings: Sequence[Finding], path: str,
+                   previous: Optional[Baseline] = None) -> Baseline:
+    """Write the baseline matching ``findings``; returns it.
+
+    Justifications from ``previous`` survive for entries that still
+    have findings; entries whose count dropped to zero disappear (the
+    ratchet only ever tightens).
+    """
+    previous = previous or Baseline()
+    grouped: Dict[Key, int] = {}
+    for finding in findings:
+        key = (finding.rule_id, finding.path)
+        grouped[key] = grouped.get(key, 0) + 1
+    baseline = Baseline(counts=dict(grouped))
+    entries = []
+    for key in sorted(grouped):
+        justification = previous.justifications.get(
+            key, "TODO: justify or fix")
+        baseline.justifications[key] = justification
+        entries.append({
+            "rule": key[0], "path": key[1], "count": grouped[key],
+            "justification": justification,
+        })
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"version": BASELINE_VERSION, "entries": entries},
+                  handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return baseline
+
+
+def compare_to_baseline(findings: Sequence[Finding],
+                        baseline: Baseline
+                        ) -> Tuple[List[Finding], List[str]]:
+    """Apply the ratchet.
+
+    Returns ``(new_findings, notes)``: findings exceeding their
+    ``(rule, path)`` allowance (the excess beyond the tolerated count,
+    in deterministic order), plus human-readable notes about baseline
+    entries that are now overcounted and should be ratcheted down with
+    ``--update-baseline``.
+    """
+    grouped: Dict[Key, List[Finding]] = {}
+    for finding in sorted(findings):
+        grouped.setdefault((finding.rule_id, finding.path), []).append(
+            finding)
+    new: List[Finding] = []
+    for key in sorted(grouped):
+        allowed = baseline.allowance(*key)
+        overflow = grouped[key][allowed:]
+        new.extend(overflow)
+    notes: List[str] = []
+    for key in sorted(baseline.counts):
+        current = len(grouped.get(key, ()))
+        if current < baseline.counts[key]:
+            notes.append(
+                f"baseline entry {key[0]} {key[1]} tolerates "
+                f"{baseline.counts[key]} finding(s) but only {current} "
+                f"remain; run --update-baseline to ratchet down")
+    return sorted(new), notes

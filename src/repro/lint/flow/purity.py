@@ -1,0 +1,79 @@
+"""Purity inference for the solve paths.
+
+RUSH's incremental planner is bit-identical to the cold path only if
+everything reachable from the solve entry points is a pure function of
+its arguments: no module-global writes, no wall-clock reads, no I/O.
+The per-file rules catch direct violations inside the deterministic
+packages; this pass walks the *call graph* from every solver root
+(functions whose terminal name is in
+:attr:`~repro.lint.config.LintConfig.solver_call_names` and that live in
+a deterministic package) and flags impurities anywhere they can reach —
+including helper modules outside the deterministic set, which is
+exactly where per-file analysis goes blind.
+
+Each report carries the witness call chain from a root to the impure
+function, so the reader sees *why* the function is held to the purity
+contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.lint.config import LintConfig
+from repro.lint.flow.callgraph import CallGraph
+
+__all__ = ["ImpurityFinding", "analyze_purity"]
+
+
+@dataclass(frozen=True)
+class ImpurityFinding:
+    """One impure operation reachable from a solve root."""
+
+    path: str
+    line: int
+    kind: str  # "global-write" | "wall-clock" | "io"
+    detail: str
+    function: str  # fq of the function containing the impurity
+    chain: Tuple[str, ...]  # witness call chain root -> ... -> function
+
+
+def _solver_roots(graph: CallGraph, config: LintConfig) -> List[str]:
+    roots: List[str] = []
+    for fq, (summary, _info) in graph.functions.items():
+        terminal = fq.rsplit(".", 1)[-1]
+        if terminal not in config.solver_call_names:
+            continue
+        if config.package_of(summary.path) in config.deterministic_packages:
+            roots.append(fq)
+    return sorted(roots)
+
+
+def analyze_purity(graph: CallGraph,
+                   config: Optional[LintConfig] = None
+                   ) -> List[ImpurityFinding]:
+    """Impurities in everything reachable from the solver roots."""
+    config = config or LintConfig()
+    roots = _solver_roots(graph, config)
+    parents = graph.reachable_from(roots)
+    findings: List[ImpurityFinding] = []
+    for fq in sorted(parents):
+        summary, info = graph.functions[fq]
+        chain = tuple(graph.chain_to_root(fq, parents))
+        for write in info.get("global_writes", ()):
+            findings.append(ImpurityFinding(
+                path=summary.path, line=write["line"], kind="global-write",
+                detail=(f"writes module global '{write['name']}' "
+                        f"({write.get('note', 'assignment')})"),
+                function=fq, chain=chain))
+        for hop in info.get("wall_clock", ()):
+            findings.append(ImpurityFinding(
+                path=summary.path, line=hop["line"], kind="wall-clock",
+                detail=hop["note"], function=fq, chain=chain))
+        for hop in info.get("io", ()):
+            findings.append(ImpurityFinding(
+                path=summary.path, line=hop["line"], kind="io",
+                detail=hop["note"], function=fq, chain=chain))
+    return sorted(findings,
+                  key=lambda f: (f.path, f.line, f.kind, f.detail))

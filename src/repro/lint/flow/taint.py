@@ -1,0 +1,267 @@
+"""Interprocedural RNG-provenance (taint) analysis.
+
+The extractor (:mod:`repro.lint.flow.symbols`) leaves three kinds of
+taint dependency in each function summary — ``source`` (a literal
+unseeded-RNG origin), ``param`` (tainted iff a given parameter is), and
+``call`` (tainted iff a given callee's return is).  This module closes
+them over the call graph with two fixpoints:
+
+* **tainted returns** — the set of functions whose return value derives
+  from an unseeded source through any number of hops, each entry
+  carrying its witness chain of ``{path, line, note}`` hops;
+* **parameter sinks** — functions that *draw* from a given parameter
+  (``def step(rng): rng.normal()``), lifted transitively through
+  callers that forward their own parameters.
+
+The output is a list of :class:`TaintFinding` records, one per sink
+whose cause resolves to an unseeded origin, with the complete
+``source → hop → … → sink`` path stitched across files.  Package
+filtering and suppression handling happen later, in the RL011 rule —
+the analysis itself is configuration-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.lint.flow.callgraph import CallGraph
+from repro.lint.flow.symbols import ModuleSummary
+
+__all__ = ["TaintFinding", "TaintAnalysis", "analyze_taint"]
+
+#: A resolved hop: {"path": str, "line": int, "note": str}.
+Hop = Dict[str, Any]
+
+#: Fixpoint iteration cap (paranoia; chains are monotone so the loop
+#: terminates on its own, but a bound keeps pathological input linear).
+_MAX_ROUNDS = 50
+
+
+@dataclass(frozen=True)
+class TaintFinding:
+    """One unseeded-provenance violation with its witness path."""
+
+    path: str
+    line: int
+    message: str
+    chain: Tuple[Tuple[str, int, str], ...]  # (path, line, note) hops
+
+    def render_chain(self) -> str:
+        hops = [f"{p}:{ln} ({note})" for p, ln, note in self.chain]
+        return " -> ".join(hops)
+
+
+@dataclass
+class TaintAnalysis:
+    """Fixpoint state shared by the resolution helpers."""
+
+    graph: CallGraph
+    #: fq -> witness chain for a tainted return value.
+    tainted_returns: Dict[str, List[Hop]] = field(default_factory=dict)
+    #: fq -> {param index -> (local hops to the sink, sink line, note)}
+    param_sinks: Dict[str, Dict[int, Tuple[List[Hop], int, str]]] = (
+        field(default_factory=dict))
+    findings: List[TaintFinding] = field(default_factory=list)
+
+
+def _located(chain: Optional[List[Dict[str, Any]]],
+             path: str) -> List[Hop]:
+    """Attach the owning file to intra-module hops lacking a path."""
+    out: List[Hop] = []
+    for hop in chain or ():
+        out.append({"path": hop.get("path", path),
+                    "line": hop["line"], "note": hop["note"]})
+    return out
+
+
+def _callee_params(analysis: TaintAnalysis, fq: str) -> List[str]:
+    hit = analysis.graph.functions.get(fq)
+    if hit is None:
+        return []
+    return list(hit[1].get("params", ()))
+
+
+def _arg_dep_at(call: Dict[str, Any], params: List[str],
+                index: int) -> Optional[Dict[str, Any]]:
+    """The dep flowing into positional parameter ``index`` at a site."""
+    args = call.get("args", ())
+    if index < len(args):
+        return args[index]
+    if 0 <= index < len(params):
+        return call.get("kwargs", {}).get(params[index])
+    return None
+
+
+def _resolve_dep(analysis: TaintAnalysis, summary: ModuleSummary,
+                 info: Dict[str, Any], dep: Optional[Dict[str, Any]],
+                 depth: int = 0) -> Optional[List[Hop]]:
+    """Witness chain for ``dep`` if it is (currently known) tainted."""
+    if dep is None or depth > 8:
+        return None
+    kind = dep.get("kind")
+    local = _located(dep.get("chain"), summary.path)
+    if kind == "source":
+        return local
+    if kind == "call":
+        callee = analysis.graph.resolve(dep.get("callee", ""))
+        if callee is None:
+            return None
+        ret = analysis.tainted_returns.get(callee)
+        if ret is not None:
+            return list(ret) + local
+        # Identity-style laundering: the callee returns one of its own
+        # parameters — tainted iff the matching argument at THIS site is.
+        hit = analysis.graph.functions.get(callee)
+        if hit is None:
+            return None
+        callee_summary, callee_info = hit
+        site = _find_call_record(info, dep)
+        if site is None:
+            return None
+        params = list(callee_info.get("params", ()))
+        for ret_dep in callee_info.get("returns", ()):
+            if ret_dep.get("kind") != "param":
+                continue
+            arg = _arg_dep_at(site, params, ret_dep.get("index", -1))
+            upstream = _resolve_dep(analysis, summary, info, arg, depth + 1)
+            if upstream is not None:
+                through = _located(ret_dep.get("chain"),
+                                   callee_summary.path)
+                return upstream + through + local
+        return None
+    if kind == "param":
+        return None  # resolved at call sites via param-sink lifting
+    return None
+
+
+def _find_call_record(info: Dict[str, Any],
+                      dep: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+    for call in info.get("calls", ()):
+        if (call.get("callee") == dep.get("callee")
+                and call.get("line") == dep.get("line")):
+            return call
+    return None
+
+
+def _run_return_fixpoint(analysis: TaintAnalysis) -> None:
+    """Propagate tainted returns until no new function joins the set."""
+    for _ in range(_MAX_ROUNDS):
+        changed = False
+        for fq, (summary, info) in analysis.graph.functions.items():
+            if fq in analysis.tainted_returns:
+                continue
+            for ret_dep in info.get("returns", ()):
+                chain = _resolve_dep(analysis, summary, info, ret_dep)
+                if chain is not None:
+                    analysis.tainted_returns[fq] = chain
+                    changed = True
+                    break
+        if not changed:
+            return
+
+
+def _collect_param_sinks(analysis: TaintAnalysis) -> None:
+    """Seed + transitively lift "this function draws from param i"."""
+    for fq, (summary, info) in analysis.graph.functions.items():
+        for sink in info.get("sinks", ()):
+            cause = sink.get("cause") or {}
+            if cause.get("kind") != "param":
+                continue
+            index = cause.get("index", -1)
+            if index < 0:
+                continue
+            hops = _located(cause.get("chain"), summary.path)
+            slots = analysis.param_sinks.setdefault(fq, {})
+            if index not in slots:
+                slots[index] = (hops, sink["line"], sink["note"])
+    for _ in range(_MAX_ROUNDS):
+        changed = False
+        for fq, (summary, info) in analysis.graph.functions.items():
+            for call in info.get("calls", ()):
+                callee = analysis.graph.resolve(call.get("callee") or "")
+                if callee is None or callee not in analysis.param_sinks:
+                    continue
+                params = _callee_params(analysis, callee)
+                for index in analysis.param_sinks[callee]:
+                    arg = _arg_dep_at(call, params, index)
+                    if arg is None or arg.get("kind") != "param":
+                        continue
+                    my_index = arg.get("index", -1)
+                    if my_index < 0:
+                        continue
+                    slots = analysis.param_sinks.setdefault(fq, {})
+                    if my_index in slots:
+                        continue
+                    inner_hops, line, note = (
+                        analysis.param_sinks[callee][index])
+                    forward = _located(arg.get("chain"), summary.path)
+                    forward.append({
+                        "path": summary.path, "line": call["line"],
+                        "note": f"forwarded to {_short(callee)}()"})
+                    slots[my_index] = (forward + inner_hops, line, note)
+                    changed = True
+        if not changed:
+            return
+
+
+def _short(fq: str) -> str:
+    return fq.rsplit(".", 1)[-1]
+
+
+def _sink_findings(analysis: TaintAnalysis) -> None:
+    """Emit a finding for every sink whose cause resolves as tainted."""
+    for fq, (summary, info) in sorted(analysis.graph.functions.items()):
+        # Direct sinks: a draw on a value whose provenance resolves.
+        for sink in info.get("sinks", ()):
+            chain = _resolve_dep(analysis, summary, info,
+                                 sink.get("cause"))
+            if chain is None:
+                continue
+            full = chain + [{"path": summary.path, "line": sink["line"],
+                             "note": sink["note"]}]
+            analysis.findings.append(_make_finding(
+                summary.path, sink["line"], sink["note"], full))
+        # Call sites feeding a tainted argument into a param-sink.
+        for call in info.get("calls", ()):
+            callee = analysis.graph.resolve(call.get("callee") or "")
+            if callee is None or callee not in analysis.param_sinks:
+                continue
+            params = _callee_params(analysis, callee)
+            callee_path = analysis.graph.functions[callee][0].path
+            for index, (inner_hops, sink_line, note) in sorted(
+                    analysis.param_sinks[callee].items()):
+                arg = _arg_dep_at(call, params, index)
+                chain = _resolve_dep(analysis, summary, info, arg)
+                if chain is None:
+                    continue
+                handoff = [{"path": summary.path, "line": call["line"],
+                            "note": f"passed into {_short(callee)}()"}]
+                full = (chain + handoff + inner_hops
+                        + [{"path": callee_path, "line": sink_line,
+                            "note": note}])
+                analysis.findings.append(_make_finding(
+                    summary.path, call["line"],
+                    f"argument to {_short(callee)}() has unseeded-RNG "
+                    f"provenance; it is drawn at "
+                    f"{callee_path}:{sink_line}", full))
+
+
+def _make_finding(path: str, line: int, note: str,
+                  hops: List[Hop]) -> TaintFinding:
+    chain = tuple((h["path"], h["line"], h["note"]) for h in hops)
+    return TaintFinding(path=path, line=line, message=note, chain=chain)
+
+
+def analyze_taint(graph: CallGraph) -> TaintAnalysis:
+    """Run both fixpoints and collect every provenance violation."""
+    analysis = TaintAnalysis(graph=graph)
+    _run_return_fixpoint(analysis)
+    _collect_param_sinks(analysis)
+    _sink_findings(analysis)
+    # Deterministic order + dedup (a sink can resolve through both the
+    # direct and the param-lifted route to the same witness).
+    unique = sorted(set(analysis.findings),
+                    key=lambda f: (f.path, f.line, f.message))
+    analysis.findings = unique
+    return analysis

@@ -116,6 +116,7 @@ class FileContext:
         self.package = config.package_of(path)
         self.is_deterministic = config.is_deterministic(path)
         self.is_benchmark = config.is_benchmark(path)
+        self.is_test = config.is_test(path)
         self.line_suppressions, self.file_suppressions = (
             _parse_suppressions(source))
 
@@ -194,10 +195,21 @@ def _parse_suppressions(source: str):
     def target_line(directive_line: int, standalone: bool) -> int:
         if not standalone:
             return directive_line
+        depth = 0
         for lineno in range(directive_line + 1, len(lines) + 1):
             stripped = lines[lineno - 1].strip()
-            if stripped and not stripped.startswith("#"):
+            if not stripped or stripped.startswith("#"):
+                continue
+            # Decorator lines are skipped: a FunctionDef/ClassDef finding
+            # reports at the `def`/`class` line (PEP 3.8+ lineno
+            # semantics), so a directive above `@decorator` must land on
+            # the def itself.  Bracket depth carries multi-line decorator
+            # argument lists.
+            if depth == 0 and not stripped.startswith("@"):
                 return lineno
+            depth += (stripped.count("(") + stripped.count("[")
+                      - stripped.count(")") - stripped.count("]"))
+            depth = max(depth, 0)
         return directive_line
 
     try:

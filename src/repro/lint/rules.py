@@ -15,7 +15,7 @@ backstopped by the property-test suites.
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterator, Optional, Set, Tuple
 
 from repro.lint.framework import FileContext, Finding, Rule, register_rule
 
@@ -266,9 +266,29 @@ class FloatEqualityRule(Rule):
             return self._is_floaty(node.operand, ctx)
         return False
 
+    def _asserted_compares(self, ctx: FileContext) -> FrozenSet[int]:
+        """ids of Compare nodes appearing inside ``assert`` statements."""
+        inside: set = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assert):
+                for sub in ast.walk(node):
+                    if isinstance(sub, ast.Compare):
+                        inside.add(id(sub))
+        return frozenset(inside)
+
     def check(self, ctx: FileContext) -> Iterator[Finding]:
+        # In tests and benchmarks, exact equality inside an ``assert`` is
+        # the point: the determinism gates promise *bit-identical* floats
+        # (golden traces, cold/warm planner equivalence), and isclose
+        # would weaken exactly what they verify.  Comparisons outside
+        # asserts (branch conditions, sentinels) are still flagged.
+        exempt: FrozenSet[int] = frozenset()
+        if ctx.is_test or ctx.is_benchmark:
+            exempt = self._asserted_compares(ctx)
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Compare):
+                continue
+            if id(node) in exempt:
                 continue
             operands = [node.left] + list(node.comparators)
             for i, op in enumerate(node.ops):

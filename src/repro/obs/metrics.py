@@ -20,7 +20,7 @@ slots, not seconds.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Type
 
 from repro.errors import ConfigurationError
 
@@ -258,7 +258,8 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._metrics: Dict[str, _Metric] = {}
 
-    def _get_or_create(self, cls: type, name: str, **kwargs: Any) -> _Metric:
+    def _get_or_create(self, cls: Type[_Metric], name: str,
+                       **kwargs: Any) -> _Metric:
         existing = self._metrics.get(name)
         if existing is not None:
             if not isinstance(existing, cls):

@@ -28,7 +28,8 @@ __all__ = ["Span", "SpanTracer", "NullTracer", "NULL_TRACER", "json_safe"]
 _Payload = Dict[str, Any]
 
 
-def json_safe(value: Any) -> Union[None, bool, int, float, str, list, dict]:
+def json_safe(value: Any) -> Union[None, bool, int, float, str,
+                                   List[Any], Dict[str, Any]]:
     """Coerce a payload value to something ``json.dumps`` handles.
 
     numpy scalars expose ``item()``; containers recurse (dict keys are

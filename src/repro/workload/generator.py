@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.cluster.job import JobSpec
+from repro.utility.base import UtilityFunction
 from repro.utility.constant import ConstantUtility
 from repro.utility.sigmoid import SigmoidUtility
 from repro.workload.templates import PUMA_TEMPLATES, JobTemplate
@@ -154,7 +155,8 @@ class WorkloadGenerator:
             return raw
         return [max(1, int(round(d * self.config.time_scale))) for d in raw]
 
-    def _utility_for(self, sensitivity: str, budget: float, priority: int):
+    def _utility_for(self, sensitivity: str, budget: float,
+                     priority: int) -> UtilityFunction:
         cfg = self.config
         if sensitivity == "insensitive":
             return ConstantUtility(priority=priority)

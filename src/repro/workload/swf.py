@@ -286,11 +286,26 @@ def parse_swf_text(text: str, *, strict: bool = True,
     return parse_swf_lines(text.splitlines(), strict=strict, path=path)
 
 
-def parse_swf(path: Union[str, Path], *, strict: bool = True) -> SwfTrace:
-    """Parse an SWF archive from disk."""
+def parse_swf(path: Union[str, Path], *, strict: bool = True,
+              trace_root: Union[str, Path, None] = None) -> SwfTrace:
+    """Parse an SWF archive from disk.
+
+    The path stored on the trace — and embedded in every
+    :class:`TraceFormatError` message — is rendered *relative to the
+    trace root* (the file's parent directory by default), never as the
+    absolute path handed in.  Error strings and trace metadata flow
+    into scenario JSON artifacts whose digests must be byte-identical
+    across checkouts; an absolute path would leak machine-specific
+    prefixes into them.
+    """
     file_path = Path(path)
+    root = Path(trace_root) if trace_root is not None else file_path.parent
+    try:
+        display = str(file_path.relative_to(root))
+    except ValueError:
+        display = file_path.name
     with file_path.open("r", encoding="utf-8", errors="strict") as handle:
-        return parse_swf_lines(handle, strict=strict, path=str(file_path))
+        return parse_swf_lines(handle, strict=strict, path=display)
 
 
 # -- mapping onto JobSpec ---------------------------------------------------
@@ -475,9 +490,13 @@ def _classify(jobs: Sequence[SwfJob], benchmarks: Sequence[float],
 
 def load_swf_workload(path: Union[str, Path], *,
                       config: Optional[SwfMapConfig] = None,
-                      strict: bool = True) -> List[JobSpec]:
+                      strict: bool = True,
+                      trace_root: Union[str, Path, None] = None
+                      ) -> List[JobSpec]:
     """One-call SWF ingestion: parse the archive and map it to specs."""
-    return swf_to_specs(parse_swf(path, strict=strict), config=config)
+    return swf_to_specs(
+        parse_swf(path, strict=strict, trace_root=trace_root),
+        config=config)
 
 
 def rebase_arrivals(specs: Sequence[JobSpec],

@@ -12,7 +12,7 @@ from __future__ import annotations
 import json
 import math
 from pathlib import Path
-from typing import Iterable, List, Union
+from typing import Any, Dict, Iterable, List, Mapping, Union
 
 from repro.errors import ConfigurationError
 from repro.cluster.job import JobSpec
@@ -23,7 +23,7 @@ __all__ = ["spec_to_dict", "spec_from_dict", "save_trace", "load_trace"]
 _FORMAT_VERSION = 1
 
 
-def spec_to_dict(spec: JobSpec) -> dict:
+def spec_to_dict(spec: JobSpec) -> Dict[str, object]:
     """Serialize one job spec to a JSON-compatible mapping."""
     return {
         "job_id": spec.job_id,
@@ -43,7 +43,7 @@ def spec_to_dict(spec: JobSpec) -> dict:
     }
 
 
-def spec_from_dict(data: dict) -> JobSpec:
+def spec_from_dict(data: Mapping[str, Any]) -> JobSpec:
     """Deserialize one job spec from its mapping form."""
     try:
         budget = data.get("budget")

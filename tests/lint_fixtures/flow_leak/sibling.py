@@ -1,0 +1,12 @@
+"""Sibling module with the same violation and *no* suppression.
+
+Proves a ``disable-file=`` in ``silenced.py`` does not leak through
+the shared cross-module index: this file's finding must still fire.
+"""
+
+import numpy as np
+
+
+def loud_draw():
+    rng = np.random.default_rng()
+    return rng.normal()

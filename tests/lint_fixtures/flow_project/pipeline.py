@@ -1,0 +1,18 @@
+"""Consumer module: draws from generators built in ``streams``.
+
+``noisy_plan`` is the cross-module positive case — an unseeded
+generator laundered through a helper *module* boundary, invisible to
+any per-file rule.  ``seeded_plan`` is its seeded twin and must pass.
+"""
+
+from streams import fresh_stream, seeded_stream
+
+
+def noisy_plan(jobs):
+    rng = fresh_stream()
+    return [job + rng.normal() for job in jobs]
+
+
+def seeded_plan(jobs, seed):
+    rng = seeded_stream(seed)
+    return [job + rng.normal() for job in jobs]

@@ -1,0 +1,11 @@
+"""Helper module: the laundering side of the cross-module fixture."""
+
+import numpy as np
+
+
+def fresh_stream():
+    return np.random.default_rng()
+
+
+def seeded_stream(seed):
+    return np.random.default_rng(seed)

@@ -1,0 +1,21 @@
+"""RL011 negative fixture: every draw derives from a seeded parameter.
+
+The same laundering shape as the positive fixture, but the generator is
+constructed from a seed threaded through the call chain — provenance
+resolves to a seeded parameter, so the pass stays silent.
+"""
+
+import numpy as np
+
+
+def fresh_stream(seed):
+    return np.random.default_rng(seed)
+
+
+def jitter(values, seed):
+    rng = fresh_stream(seed)
+    return values + rng.normal()
+
+
+def blessed_noise(rng):
+    return rng.standard_normal(4).sum()

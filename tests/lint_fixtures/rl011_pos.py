@@ -1,0 +1,22 @@
+"""RL011 positive fixture: unseeded provenance crossing call hops.
+
+``fresh_stream`` launders an unseeded generator through a return value;
+``legacy_noise`` derives from the hidden legacy global stream.  Both
+draws must be reported with the full taint path.
+"""
+
+import numpy as np
+
+
+def fresh_stream():
+    return np.random.default_rng()
+
+
+def jitter(values):
+    rng = fresh_stream()
+    return values + rng.normal()
+
+
+def legacy_noise():
+    draw = np.random.rand(4)
+    return draw.sum()

@@ -1,0 +1,18 @@
+"""RL012 negative fixture: the solve path is pure.
+
+The same call shape as the positive fixture, but the helper works on
+local state only and derives its result from its arguments — nothing
+reachable from ``plan`` writes globals, reads clocks, or does I/O.
+"""
+
+_LIMITS = (8, 16)
+
+
+def plan(jobs):
+    return _stamp(jobs)
+
+
+def _stamp(jobs):
+    seen = {}
+    seen["last"] = len(jobs)
+    return seen["last"] + _LIMITS[0]

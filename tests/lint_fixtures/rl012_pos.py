@@ -1,0 +1,20 @@
+"""RL012 positive fixture: impurity reachable from a solve root.
+
+``plan`` is a solver entry point; the helper it calls writes a module
+global and reads the wall clock — both must be flagged with the
+witness call chain even though the helper itself is not named like a
+solver.
+"""
+
+import time
+
+_CACHE = {}
+
+
+def plan(jobs):
+    return _stamp(jobs)
+
+
+def _stamp(jobs):
+    _CACHE["last"] = len(jobs)
+    return time.time()

@@ -1,0 +1,23 @@
+"""RL013 negative fixture: picklable pure workers, seeded pool.
+
+The worker is a module-level function of its arguments alone, and the
+pool passes a seeding initializer — nothing escapes.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+_SCALE = 2
+
+
+def _seed_pool(seed):
+    return seed
+
+
+def _double(shard):
+    return shard * _SCALE
+
+
+def run(shards, seed):
+    with ProcessPoolExecutor(initializer=_seed_pool,
+                             initargs=(seed,)) as pool:
+        return list(pool.map(_double, shards))

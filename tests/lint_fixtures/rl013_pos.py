@@ -1,0 +1,21 @@
+"""RL013 positive fixture: pool workers escaping with shared state.
+
+``_tally`` touches a mutable module global (a read and a write, each
+reported), and the inline lambda is unpicklable — three findings.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+_RESULTS = []
+
+
+def _tally(shard):
+    _RESULTS.append(shard)
+    return shard
+
+
+def run(shards):
+    with ProcessPoolExecutor() as pool:
+        out = list(pool.map(_tally, shards))
+        extra = pool.submit(lambda: 1)
+    return out, extra

@@ -1,0 +1,33 @@
+"""RL014 negative fixture: solver failures reach the ladder.
+
+The handler catches the family *and* records the fallback, so the
+raise in ``solve_step`` has a path into the degradation ladder and the
+catch is not a swallow.
+"""
+
+
+class ReproError(Exception):
+    pass
+
+
+class SolverBudgetError(ReproError):
+    pass
+
+
+class Stats:
+    def __init__(self):
+        self.fallback = []
+
+
+def solve_step(budget):
+    if budget <= 0:
+        raise SolverBudgetError("out of budget")
+    return budget
+
+
+def execute(budget, stats):
+    try:
+        return solve_step(budget)
+    except SolverBudgetError as exc:
+        stats.fallback.append(str(exc))
+        return 0

@@ -1,0 +1,28 @@
+"""RL014 positive fixture: swallowed and orphaned solver failures.
+
+``swallow`` catches the solver family and drops it on the floor (no
+record, no re-raise); with no recording handler anywhere in the
+project, the ``raise`` in ``solve_step`` also has no path into the
+degradation ladder — two findings.
+"""
+
+
+class ReproError(Exception):
+    pass
+
+
+class SolverBudgetError(ReproError):
+    pass
+
+
+def solve_step(budget):
+    if budget <= 0:
+        raise SolverBudgetError("out of budget")
+    return budget
+
+
+def swallow(budget):
+    try:
+        return solve_step(budget)
+    except SolverBudgetError:
+        return None

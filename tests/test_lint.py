@@ -52,12 +52,26 @@ def _rule_findings(rule_id, kind):
 # Registry
 # ---------------------------------------------------------------------------
 
-def test_registry_ships_the_ten_domain_rules():
-    assert sorted(RULE_REGISTRY) == sorted(RULE_CASES)
+#: Project-wide flow rules (RL011-RL014); their fixture-driven tests
+#: live in tests/test_lint_flow.py, but the registry owns all fourteen.
+FLOW_RULE_IDS = ("RL011", "RL012", "RL013", "RL014")
+
+
+def test_registry_ships_the_fourteen_domain_rules():
+    assert sorted(RULE_REGISTRY) == sorted(
+        list(RULE_CASES) + list(FLOW_RULE_IDS))
     for rule_id, cls in RULE_REGISTRY.items():
         assert cls.rule_id == rule_id
         assert cls.name, rule_id
         assert cls.rationale, rule_id
+
+
+def test_flow_rules_are_inert_in_per_file_mode():
+    """Flow rules yield nothing from the per-file engine."""
+    src = "import numpy as np\nrng = np.random.default_rng()\n"
+    config = LintConfig(package_override="core",
+                        select=frozenset(FLOW_RULE_IDS))
+    assert lint_source(src, config=config) == []
 
 
 # ---------------------------------------------------------------------------
@@ -162,6 +176,58 @@ def test_suppression_of_other_rule_does_not_silence():
     assert any(f.rule_id == "RL003" for f in lint_source(src))
 
 
+def test_comma_list_suppresses_multiple_rules_on_one_line():
+    src = ("import numpy as np\n"
+           "rng = np.random.default_rng()"
+           "  # rushlint: disable=RL001,RL003 (fixture)\n")
+    config = LintConfig(package_override="core")
+    assert [f for f in lint_source(src, config=config)
+            if f.rule_id in ("RL001", "RL003")] == []
+
+
+def test_comma_list_leaves_unlisted_rules_armed():
+    src = SNIPPET.format(
+        trailer="  # rushlint: disable=RL001,RL002 (wrong ids)")
+    assert any(f.rule_id == "RL003" for f in lint_source(src))
+
+
+DECORATED = ("import functools\n"
+             "{directive}"
+             "@functools.lru_cache(maxsize=None)\n"
+             "def api(job):\n"
+             "    return job\n")
+
+
+def test_decorated_def_fires_without_suppression():
+    src = DECORATED.format(directive="")
+    config = LintConfig(package_override="core")
+    findings = [f for f in lint_source(src, config=config)
+                if f.rule_id == "RL007"]
+    # Findings report at the `def` line, not the decorator line.
+    assert findings and all(f.line == 3 for f in findings)
+
+
+def test_standalone_suppression_covers_decorated_def():
+    src = DECORATED.format(
+        directive="# rushlint: disable=RL007 (fixture API)\n")
+    config = LintConfig(package_override="core")
+    assert [f for f in lint_source(src, config=config)
+            if f.rule_id == "RL007"] == []
+
+
+def test_standalone_suppression_covers_multiline_decorator():
+    src = ("import functools\n"
+           "# rushlint: disable=RL007 (fixture API)\n"
+           "@functools.lru_cache(\n"
+           "    maxsize=None,\n"
+           ")\n"
+           "def api(job):\n"
+           "    return job\n")
+    config = LintConfig(package_override="core")
+    assert [f for f in lint_source(src, config=config)
+            if f.rule_id == "RL007"] == []
+
+
 # ---------------------------------------------------------------------------
 # Reporters
 # ---------------------------------------------------------------------------
@@ -258,3 +324,44 @@ def test_cli_as_benchmark_forces_rl008(capsys):
 def test_shipped_tree_is_rushlint_clean():
     findings = lint_paths([str(REPO_ROOT / "src" / "repro")])
     assert findings == [], "\n".join(f.render() for f in findings)
+
+
+# ---------------------------------------------------------------------------
+# RL003 assert exemption (test/benchmark files)
+# ---------------------------------------------------------------------------
+
+FLOAT_ASSERT = "def test_exact():\n    assert plan.utility_value == 0.75\n"
+
+
+def test_rl003_exempts_asserts_in_test_files():
+    """Exact equality inside ``assert`` is the determinism contract."""
+    findings = lint_source(FLOAT_ASSERT, path="tests/test_golden.py")
+    assert findings == []
+
+
+def test_rl003_exempts_asserts_in_benchmark_files():
+    findings = lint_source(FLOAT_ASSERT, path="benchmarks/bench_x.py")
+    assert [f.rule_id for f in findings] == []
+
+
+def test_rl003_still_fires_on_asserts_in_src():
+    findings = lint_source(FLOAT_ASSERT, path="src/repro/core/plan.py")
+    assert [f.rule_id for f in findings if f.rule_id == "RL003"] == ["RL003"]
+
+
+def test_rl003_still_fires_outside_asserts_in_test_files():
+    src = ("def helper(spec):\n"
+           "    if spec.utility_value == 0.75:\n"
+           "        return 1\n"
+           "    return 0\n")
+    findings = lint_source(src, path="tests/test_golden.py")
+    assert [f.rule_id for f in findings] == ["RL003"]
+
+
+def test_is_test_classification():
+    config = LintConfig()
+    assert config.is_test("tests/test_planner.py")
+    assert config.is_test("test_planner.py")
+    assert config.is_test("somewhere/tests/helpers.py")
+    assert not config.is_test("src/repro/core/planner.py")
+    assert not config.is_test("benchmarks/bench_planner.py")

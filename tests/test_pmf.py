@@ -57,6 +57,8 @@ class TestConstruction:
     def test_probs_are_read_only(self):
         pmf = Pmf([0.5, 0.5])
         with pytest.raises(ValueError):
+            # rushlint: disable=RL005 (negative test: this write is the
+            # read-only-view violation the assertion proves impossible)
             pmf.probs[0] = 1.0
 
     @given(pmf_vectors())

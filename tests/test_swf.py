@@ -10,6 +10,7 @@ SWF→JobSpec rules documented in ``docs/WORKLOADS.md``.
 from __future__ import annotations
 
 import math
+from pathlib import Path
 
 import pytest
 from hypothesis import given, settings
@@ -83,6 +84,26 @@ class TestParserHappyPath:
         two = parse_swf(bundled_swf_path())
         assert one.jobs == two.jobs
         assert dict(one.directives) == dict(two.directives)
+
+    def test_trace_path_is_relative_to_trace_root(self):
+        # Absolute input path, portable (basename) stored path: error
+        # strings and trace metadata feed digested artifacts that must
+        # be byte-identical across checkouts.
+        trace = parse_swf(bundled_swf_path())
+        assert trace.path is not None
+        assert not Path(trace.path).is_absolute()
+        assert trace.path == Path(bundled_swf_path()).name
+
+    def test_explicit_trace_root_yields_relative_subpath(self):
+        bundled = Path(bundled_swf_path())
+        trace = parse_swf(bundled, trace_root=bundled.parent.parent)
+        assert trace.path == str(bundled.relative_to(bundled.parent.parent))
+        assert not Path(trace.path).is_absolute()
+
+    def test_unrelated_trace_root_falls_back_to_basename(self):
+        trace = parse_swf(bundled_swf_path(),
+                          trace_root="/nonexistent/elsewhere")
+        assert trace.path == Path(bundled_swf_path()).name
 
 
 class TestParserNegativePaths:
