@@ -32,6 +32,13 @@ The subcommands cover the workflow an operator would actually use:
     Run the rushlint static-analysis pass (domain invariants: seeded
     RNG streams, no wall clocks, float-equality discipline, ...) over a
     source tree; exit 0 means clean.
+``rush serve``
+    Run the asyncio scheduler daemon: job submit/cancel/query over
+    HTTP, an NDJSON status stream, Prometheus ``/metrics``, and
+    journal-replay snapshots (``--snapshot``/``--restore``).  With
+    ``--smoke`` it instead runs the CI equivalence battery: replay a
+    scenario through the HTTP API and diff the outcome digest against
+    the simulator path.
 
 Installed as the ``rush`` console script; also runnable as
 ``python -m repro.cli``.
@@ -65,6 +72,10 @@ from repro.schedulers import (
 )
 from repro.cluster.simulator import run_simulation
 from repro.analysis.scenario import render_scenario_text, save_scenario_json
+from repro.service import (RealTimeClock, ServiceConfig, ServiceDaemon,
+                           ServiceEngine, load_snapshot, restore_engine,
+                           run_service_smoke, tenants_from_dicts)
+from repro.service.smoke import SMOKE_SCENARIO
 from repro.ui.status import (render_fault_text, render_profile_text,
                              render_status_html, render_status_text)
 from repro.workload.generator import WorkloadConfig, WorkloadGenerator
@@ -253,6 +264,45 @@ def build_parser() -> argparse.ArgumentParser:
     lint = sub.add_parser(
         "lint", help="run the rushlint domain static-analysis pass")
     add_lint_arguments(lint)
+
+    serve = sub.add_parser(
+        "serve", help="run the asyncio scheduler daemon (HTTP API)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8350)
+    serve.add_argument("--capacity", type=int, default=16)
+    serve.add_argument("--policy",
+                       choices=sorted(POLICY_FACTORIES), default="rush")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="fault-stream seed")
+    serve.add_argument("--slot-seconds", type=float, default=1.0,
+                       help="wall seconds per scheduling slot")
+    serve.add_argument("--manual", action="store_true",
+                       help="no real-time clock: slots advance only "
+                            "through POST /tick (deterministic mode)")
+    serve.add_argument("--scheduler-options", metavar="JSON",
+                       help="policy keyword options as a JSON object, "
+                            'e.g. \'{"theta": 0.95}\'')
+    serve.add_argument("--tenants", metavar="JSON",
+                       help="tenant list as JSON, e.g. "
+                            '\'[{"name": "a", "share": 0.5}, '
+                            '{"name": "b", "share": 0.5}]\'')
+    serve.add_argument("--chaos", action="store_true",
+                       help="enable the /chaos fault-injection endpoints")
+    serve.add_argument("--snapshot", metavar="PATH",
+                       help="persist POST /snapshot to this file")
+    serve.add_argument("--restore", action="store_true",
+                       help="restore state from --snapshot at boot "
+                            "(journal replay, digest-verified)")
+    serve.add_argument("--smoke", action="store_true",
+                       help="run the CI equivalence battery instead of "
+                            "serving: replay a scenario through the "
+                            "HTTP API and diff digests vs the "
+                            "simulator path")
+    serve.add_argument("--scenario", default=SMOKE_SCENARIO,
+                       choices=sorted(SCENARIOS),
+                       help="scenario for --smoke")
+    serve.add_argument("--full", action="store_true",
+                       help="paper-scale --smoke variant")
 
     return parser
 
@@ -504,6 +554,55 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    if args.smoke:
+        report = run_service_smoke(args.scenario, seed=args.seed,
+                                   fast=not args.full)
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+
+    options = json.loads(args.scheduler_options) \
+        if args.scheduler_options else {}
+    tenants = tenants_from_dicts(json.loads(args.tenants)) \
+        if args.tenants else ()
+    config = ServiceConfig(capacity=args.capacity, policy=args.policy,
+                           seed=args.seed, scheduler_options=options,
+                           tenants=tenants)
+    clock = None if args.manual else RealTimeClock(args.slot_seconds)
+
+    async def _serve() -> None:
+        if args.restore:
+            if not args.snapshot:
+                raise ReproError("--restore requires --snapshot PATH")
+            engine = restore_engine(load_snapshot(args.snapshot),
+                                    clock=clock)
+        else:
+            engine = ServiceEngine(config, clock=clock)
+        obs.enable(trace=False, metrics=True, ledger=True)
+        daemon = ServiceDaemon(engine, clock=clock, chaos=args.chaos,
+                               snapshot_path=args.snapshot)
+        await daemon.start(args.host, args.port)
+        mode = "manual ticks" if args.manual \
+            else f"{args.slot_seconds:g}s slots"
+        print(f"rush service on http://{args.host}:{daemon.port} "
+              f"({args.policy}, capacity {args.capacity}, {mode}); "
+              "Ctrl-C stops", flush=True)
+        try:
+            await asyncio.Event().wait()  # serve until interrupted
+        finally:
+            await daemon.stop()
+            obs.reset()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\nstopped")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "simulate": _cmd_simulate,
@@ -514,6 +613,7 @@ _COMMANDS = {
     "ingest": _cmd_ingest,
     "scenarios": _cmd_scenarios,
     "lint": run_lint_command,
+    "serve": _cmd_serve,
 }
 
 

@@ -20,8 +20,10 @@ constraint of Section III-C is structural here, not merely modeled.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.clock import (CancelEvent, Clock, ClusterEvent, EventSource,
+                              SimulatedClock, SubmitEvent)
 from repro.errors import SimulationError, SimulationTimeoutError
 from repro.cluster.container import Container
 from repro.cluster.job import JobSpec, SimJob
@@ -56,17 +58,27 @@ class ClusterSimulator:
     """
 
     def __init__(self, capacity: int, scheduler: Scheduler,
-                 seed: int = 0, faults: Optional[FaultPlan] = None) -> None:
+                 seed: int = 0, faults: Optional[FaultPlan] = None, *,
+                 clock: Optional[Clock] = None,
+                 events: Optional[EventSource] = None,
+                 record_decisions: bool = False) -> None:
         if capacity <= 0:
             raise SimulationError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
         self.scheduler = scheduler
         self.containers = [Container(container_id=k) for k in range(capacity)]
-        self.now = 0
+        self._clock: Clock = clock if clock is not None else SimulatedClock()
+        self._events = events
+        self._record_decisions = record_decisions
+        #: Grant stream (slot, kind, job_id) with kind "grant"/"spec" —
+        #: recorded only when ``record_decisions`` is set (the service
+        #: snapshot/restore equivalence contract pins this stream).
+        self.decisions: List[Tuple[int, str, str]] = []
         self._jobs: Dict[str, SimJob] = {}
         self._pending_arrivals: List[SimJob] = []
         self._active: List[SimJob] = []
         self._completed: List[SimJob] = []
+        self._cancelled: List[SimJob] = []
         self.faults = faults if faults is not None else FaultPlan.default()
         self.faults.bind(self, fallback_seed=seed)
         self.fault_log = self.faults.log
@@ -78,6 +90,16 @@ class ClusterSimulator:
         scheduler.bind(self)
 
     # -- read API for schedulers -------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """The current slot, read from the driving :class:`Clock`."""
+        return self._clock.slot
+
+    @property
+    def clock(self) -> Clock:
+        """The driving clock (identity matters to external pacers)."""
+        return self._clock
 
     @property
     def active_jobs(self) -> List[SimJob]:
@@ -107,18 +129,73 @@ class ClusterSimulator:
         self._pending_arrivals.append(job)
         self._pending_arrivals.sort(key=lambda j: (j.arrival, j.job_id))
 
+    def cancel_job(self, job_id: str, *, missing_ok: bool = False) -> bool:
+        """Withdraw a submitted job before it completes.
+
+        Running attempts are aborted and their containers freed this
+        slot; queued work is discarded; the scheduler is told through
+        :meth:`~repro.schedulers.base.Scheduler.on_job_cancelled`.  A
+        cancelled job never appears in the run's records.  With
+        ``missing_ok`` an unknown, already-complete or already-cancelled
+        target returns ``False`` instead of raising — the lenient mode
+        event-sourced cancellations use, because a cancel request may
+        race the job's completion.
+        """
+        job = self._jobs.get(job_id)
+        if job is None:
+            if missing_ok:
+                return False
+            raise SimulationError(f"cannot cancel unknown job {job_id!r}")
+        if job in self._completed or job in self._cancelled:
+            if missing_ok:
+                return False
+            state = "completed" if job in self._completed else "cancelled"
+            raise SimulationError(
+                f"cannot cancel job {job_id!r}: already {state}")
+        for container in self.containers:
+            task = container.task
+            if task is not None and task.job_id == job_id:
+                task.cancel()
+                container.task = None
+                job.note_cancelled(task)
+        if job in self._active:
+            self._active.remove(job)
+        else:
+            self._pending_arrivals = [
+                j for j in self._pending_arrivals if j.job_id != job_id]
+        self._cancelled.append(job)
+        self.scheduler.on_job_cancelled(job)
+        return True
+
+    @property
+    def cancelled_jobs(self) -> List[SimJob]:
+        """Jobs withdrawn by :meth:`cancel_job`, in cancellation order."""
+        return list(self._cancelled)
+
+    @property
+    def completed_jobs(self) -> List[SimJob]:
+        """Jobs that finished every logical task, in completion order."""
+        return list(self._completed)
+
+    def has_job(self, job_id: str) -> bool:
+        """Whether a job with this id was ever submitted to the cluster."""
+        return job_id in self._jobs
+
     # -- the slot loop --------------------------------------------------------
 
     def step(self) -> None:
         """Simulate one slot."""
         get_tracer().set_slot(self.now)
+        if self._events is not None:
+            for event in self._events.poll(self.now):
+                self._apply_event(event)
         self._admit_arrivals()
         self.faults.on_slot()
         self._fire_scheduling_events()
         busy_before = self.busy_container_slots
         completed = self._advance_tasks()
         self._observe_slot(self.busy_container_slots - busy_before, completed)
-        self.now += 1
+        self._clock.advance()
 
     def run(self, max_slots: int = 1_000_000, *,
             raise_on_timeout: bool = False) -> SimulationResult:
@@ -142,6 +219,15 @@ class ClusterSimulator:
 
     # -- internals -------------------------------------------------------------
 
+    def _apply_event(self, event: ClusterEvent) -> None:
+        if isinstance(event, SubmitEvent):
+            self.submit(event.spec)
+        elif isinstance(event, CancelEvent):
+            # Lenient: the cancel may have raced the job's completion.
+            self.cancel_job(event.job_id, missing_ok=True)
+        else:  # defensive: an EventSource handed us something foreign
+            raise SimulationError(f"unknown cluster event {event!r}")
+
     def _admit_arrivals(self) -> None:
         while self._pending_arrivals and self._pending_arrivals[0].arrival <= self.now:
             job = self._pending_arrivals.pop(0)
@@ -163,6 +249,8 @@ class ClusterSimulator:
             if task is None:
                 raise SimulationError(
                     f"scheduler selected job {job_id!r} with no pending tasks")
+            if self._record_decisions:
+                self.decisions.append((self.now, "grant", job_id))
             self.faults.on_launch(job, task)
             container = free.pop()
             container.assign(task, self.now)
@@ -180,6 +268,8 @@ class ClusterSimulator:
                 raise SimulationError(
                     f"speculation on unknown or inactive job {job_id!r}")
             duplicate = job.speculate(logical_id, duration)
+            if self._record_decisions:
+                self.decisions.append((self.now, "spec", job_id))
             container = free.pop()
             container.assign(duplicate, self.now)
             job.note_launched()
@@ -253,9 +343,10 @@ class ClusterSimulator:
         job.cancel_pending_duplicates(winner.logical_id)
 
     def _result(self) -> SimulationResult:
+        cancelled = set(id(job) for job in self._cancelled)
         records = [
             JobRecord.from_spec(job.spec, job.completion_time, self.now)
-            for job in self._jobs.values()
+            for job in self._jobs.values() if id(job) not in cancelled
         ]
         records.sort(key=lambda r: (r.arrival, r.job_id))
         fallbacks = dict(getattr(self.scheduler, "degradation_counts", {}) or {})

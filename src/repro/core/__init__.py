@@ -1,5 +1,14 @@
 """The paper's core algorithms: REM, WCDE, onion peeling, mapping, planner."""
 
+from repro.core.clock import (
+    CancelEvent,
+    Clock,
+    ClusterEvent,
+    EventSource,
+    QueueEventSource,
+    SimulatedClock,
+    SubmitEvent,
+)
 from repro.core.feasibility import (
     first_violation,
     minimum_capacity,
@@ -36,6 +45,13 @@ from repro.core.wcde import (WcdeCache, WcdeResult, solve_wcde,
                              solve_wcde_batch, worst_case_demand)
 
 __all__ = [
+    "Clock",
+    "SimulatedClock",
+    "SubmitEvent",
+    "CancelEvent",
+    "ClusterEvent",
+    "EventSource",
+    "QueueEventSource",
     "RemSolution",
     "solve_rem",
     "rem_min_kl",

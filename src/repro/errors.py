@@ -95,6 +95,63 @@ class SimulationTimeoutError(SimulationError):
     """
 
 
+class ServiceError(ReproError):
+    """Base class for scheduler-service request failures.
+
+    Every service error carries a stable machine-readable ``code`` and
+    the HTTP ``status`` the daemon maps it to, so clients can branch on
+    typed errors instead of scraping messages.  Anything the daemon
+    raises on a request path derives from this class; reaching a bare
+    500 therefore always indicates a bug, never a rejected request.
+    """
+
+    code = "service-error"
+    status = 500
+
+
+class BadRequestError(ServiceError):
+    """A request is malformed: bad JSON, a missing or mistyped field.
+
+    The message names the offending field or parse failure.
+    """
+
+    code = "bad-request"
+    status = 400
+
+
+class UnknownJobError(ServiceError):
+    """A request referenced a job id the service has never seen."""
+
+    code = "unknown-job"
+    status = 404
+
+    def __init__(self, job_id: str) -> None:
+        self.job_id = job_id
+        super().__init__(f"unknown job {job_id!r}")
+
+
+class JobStateError(ServiceError):
+    """The job exists but its state forbids the requested transition.
+
+    Examples: cancelling an already-completed or already-cancelled job,
+    resubmitting an id that is still live.
+    """
+
+    code = "job-state"
+    status = 409
+
+
+class TenantQuotaError(ServiceError):
+    """A tenant's concurrent-job quota is exhausted.
+
+    Submission is refused *now*; the client should back off and retry —
+    the 429 mapping makes that contract explicit.
+    """
+
+    code = "quota-exceeded"
+    status = 429
+
+
 class SolverBudgetError(ReproError):
     """A planning round exhausted its wall-clock time budget.
 

@@ -19,6 +19,15 @@ __all__ = ["LintConfig", "DETERMINISTIC_PACKAGES", "ANNOTATION_PACKAGES",
 
 #: Sub-packages of ``repro`` whose behaviour must be a pure function of
 #: (inputs, seed): no wall clocks, no unseeded randomness.
+#:
+#: ``service`` is the one deliberate carve-out: its real-time clock
+#: (``repro.service.clock.RealTimeClock``) is the single sanctioned
+#: wall-clock reader in the codebase — a daemon has to pace slots
+#: against real time.  The exemption is *positional*, not a weakening
+#: of RL002: the same source forced into a deterministic package still
+#: fires (pinned by ``tests/test_clock.py``), and the service engine's
+#: decisions remain a pure function of (config, journal) because only
+#: integer slots cross the Clock protocol into the core.
 DETERMINISTIC_PACKAGES: FrozenSet[str] = frozenset(
     {"core", "cluster", "faults", "workload", "obs"})
 

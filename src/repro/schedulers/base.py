@@ -82,6 +82,13 @@ class Scheduler(ABC):
     def on_job_complete(self, job: "SimJob") -> None:
         """All of ``job``'s tasks finished."""
 
+    def on_job_cancelled(self, job: "SimJob") -> None:
+        """The client withdrew ``job`` before it completed.
+
+        Its running attempts are already aborted and their containers
+        freed; override to drop any per-job state.
+        """
+
     # -- shared helpers ------------------------------------------------------------
 
     def _candidates(self) -> list:

@@ -267,6 +267,12 @@ class RushScheduler(Scheduler):
         if self._incremental is not None:
             self._incremental.forget(job.job_id)
 
+    def on_job_cancelled(self, job) -> None:
+        # Same cleanup as completion, plus an epoch bump: the active set
+        # changed mid-slot, so any cached plan mentioning the job is stale.
+        self.on_job_complete(job)
+        self._plan_epoch = None
+
     # -- the CA decision rule ----------------------------------------------------
 
     def select_job(self) -> Optional[str]:

@@ -85,6 +85,9 @@ class SpeculativeScheduler(Scheduler):
     def on_job_complete(self, job) -> None:
         self._base.on_job_complete(job)
 
+    def on_job_cancelled(self, job) -> None:
+        self._base.on_job_cancelled(job)
+
     @property
     def planner_seconds(self) -> float:
         return getattr(self._base, "planner_seconds", 0.0)

@@ -1,0 +1,50 @@
+"""``repro.service`` — the asyncio scheduler daemon around the core.
+
+The deterministic RUSH core (simulator, planners, estimators) is driven
+here through the :class:`~repro.core.clock.Clock` /
+:class:`~repro.core.clock.EventSource` protocols instead of the batch
+``run_simulation`` loop:
+
+* :class:`~repro.service.engine.ServiceEngine` — the synchronous,
+  journal-backed core: submit/cancel/query/tick, multi-tenant admission,
+  degradation-aware job status;
+* :class:`~repro.service.daemon.ServiceDaemon` — the stdlib-asyncio
+  HTTP front end (JSON endpoints, NDJSON ``/stream``, Prometheus
+  ``/metrics``), paced by :class:`~repro.service.clock.RealTimeClock`
+  or driven manually through ``POST /tick``;
+* :mod:`~repro.service.snapshot` — restart-surviving snapshots by
+  config+journal replay, verified against the decision-stream digest;
+* :class:`~repro.service.client.ServiceClient` and
+  :mod:`~repro.service.smoke` — the test/CI side of the same wire
+  protocol.
+
+This package is the sanctioned wall-clock carve-out from the RL002
+determinism lint: real time exists only in
+:class:`~repro.service.clock.RealTimeClock`, and everything below the
+daemon stays a pure function of (config, journal).  See
+``docs/SERVICE.md``.
+"""
+
+from repro.service.client import ServiceClient, ServiceRequestError
+from repro.service.clock import RealTimeClock
+from repro.service.daemon import ServiceDaemon
+from repro.service.engine import ServiceConfig, ServiceEngine
+from repro.service.protocol import (canonical_digest, error_payload,
+                                    parse_submit, records_digest,
+                                    submit_payload_from_spec)
+from repro.service.smoke import run_service_smoke
+from repro.service.snapshot import (SnapshotError, load_snapshot,
+                                    restore_engine, save_snapshot,
+                                    take_snapshot)
+from repro.service.tenants import (DEFAULT_TENANT, TenantRegistry,
+                                   TenantSpec, tenants_from_dicts)
+
+__all__ = [
+    "ServiceClient", "ServiceRequestError", "RealTimeClock",
+    "ServiceDaemon", "ServiceConfig", "ServiceEngine",
+    "canonical_digest", "error_payload", "parse_submit", "records_digest",
+    "submit_payload_from_spec", "run_service_smoke",
+    "SnapshotError", "load_snapshot", "restore_engine", "save_snapshot",
+    "take_snapshot", "DEFAULT_TENANT", "TenantRegistry", "TenantSpec",
+    "tenants_from_dicts",
+]

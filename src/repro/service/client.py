@@ -1,0 +1,154 @@
+"""A minimal asyncio client for the scheduler daemon.
+
+Raw ``asyncio.open_connection`` HTTP — the same zero-dependency stance
+as the daemon.  One request per connection, mirroring the server's
+``Connection: close`` contract.  Error responses are lifted back into
+:class:`ServiceRequestError`, so callers branch on the typed ``code``
+exactly as in-process callers branch on
+:class:`~repro.errors.ServiceError` subclasses.
+
+Used by the integration tests and by :mod:`repro.service.smoke` (the CI
+job that replays a scenario through the HTTP API and diffs the outcome
+digest against the simulator path).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+__all__ = ["ServiceClient", "ServiceRequestError"]
+
+
+class ServiceRequestError(ReproError):
+    """A request the daemon rejected, with its typed error surface."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        self.status = status
+        self.code = code
+        super().__init__(f"[{status} {code}] {message}")
+
+
+class ServiceClient:
+    """Talk to one daemon at ``host:port``; all methods are coroutines."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+
+    # -- transport -------------------------------------------------------
+
+    async def request(self, method: str, path: str,
+                      payload: Optional[Any] = None
+                      ) -> Tuple[int, str, bytes]:
+        """One round trip; returns (status, content-type, raw body)."""
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            body = (json.dumps(payload).encode("utf-8")
+                    if payload is not None else b"")
+            writer.write((
+                f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n").encode("latin-1"))
+            writer.write(body)
+            await writer.drain()
+            status_line = (await reader.readline()).decode("latin-1")
+            status = int(status_line.split(" ", 2)[1])
+            content_type = ""
+            while True:
+                line = (await reader.readline()).decode("latin-1").strip()
+                if not line:
+                    break
+                key, _, value = line.partition(":")
+                if key.strip().lower() == "content-type":
+                    content_type = value.strip()
+            raw = await reader.read()
+            return status, content_type, raw
+        finally:
+            writer.close()
+            await writer.wait_closed()
+
+    async def request_json(self, method: str, path: str,
+                           payload: Optional[Any] = None) -> Any:
+        """A JSON round trip; error responses raise the typed exception."""
+        status, _ctype, raw = await self.request(method, path, payload)
+        data = json.loads(raw.decode("utf-8")) if raw else None
+        if status >= 400:
+            error = (data or {}).get("error", {}) if isinstance(data, dict) \
+                else {}
+            raise ServiceRequestError(
+                status, str(error.get("code", "unknown")),
+                str(error.get("message", raw.decode("utf-8", "replace"))))
+        return data
+
+    # -- endpoints -------------------------------------------------------
+
+    async def healthz(self) -> Dict[str, Any]:
+        return await self.request_json("GET", "/healthz")
+
+    async def status(self) -> Dict[str, Any]:
+        return await self.request_json("GET", "/status")
+
+    async def tenants(self) -> Dict[str, Any]:
+        return await self.request_json("GET", "/tenants")
+
+    async def submit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        return await self.request_json("POST", "/jobs", payload)
+
+    async def jobs(self) -> List[Dict[str, Any]]:
+        return (await self.request_json("GET", "/jobs"))["jobs"]
+
+    async def job(self, job_id: str) -> Dict[str, Any]:
+        return await self.request_json("GET", f"/jobs/{job_id}")
+
+    async def cancel(self, job_id: str) -> Dict[str, Any]:
+        return await self.request_json("DELETE", f"/jobs/{job_id}")
+
+    async def tick(self, slots: int = 1) -> Dict[str, Any]:
+        return await self.request_json("POST", "/tick", {"slots": slots})
+
+    async def snapshot(self) -> Dict[str, Any]:
+        return await self.request_json("POST", "/snapshot")
+
+    async def chaos_solver_fault(self, depth: int = 1) -> Dict[str, Any]:
+        return await self.request_json("POST", "/chaos/solver-fault",
+                                       {"depth": depth})
+
+    async def metrics_text(self) -> str:
+        status, _ctype, raw = await self.request("GET", "/metrics")
+        if status != 200:
+            raise ServiceRequestError(status, "metrics", raw.decode())
+        return raw.decode("utf-8")
+
+    async def stream(self, count: int) -> List[Dict[str, Any]]:
+        """Collect ``count`` NDJSON status lines from ``/stream``.
+
+        The connection stays open across slots, so in manual-clock mode
+        something else must drive ``/tick`` concurrently.
+        """
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            writer.write((
+                f"GET /stream?count={count} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                "Connection: close\r\n\r\n").encode("latin-1"))
+            await writer.drain()
+            while True:  # skip the response headers
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            payloads: List[Dict[str, Any]] = []
+            while len(payloads) < count:
+                line = await reader.readline()
+                if not line:
+                    break
+                payloads.append(json.loads(line.decode("utf-8")))
+            return payloads
+        finally:
+            writer.close()
+            await writer.wait_closed()

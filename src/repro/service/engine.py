@@ -1,0 +1,392 @@
+"""The deterministic core of the scheduler service.
+
+:class:`ServiceEngine` is the daemon with the I/O stripped away: it owns
+a :class:`~repro.cluster.simulator.ClusterSimulator` driven through the
+:class:`~repro.core.clock.Clock` / :class:`~repro.core.clock.EventSource`
+protocols, validates and journals every external request, and advances
+one slot per :meth:`tick`.  The asyncio daemon is a thin shell that
+paces ``tick()`` against a real-time clock and translates HTTP into
+these methods — which is why the whole service layer can be tested, and
+its snapshot/restore proven bit-identical, without ever opening a
+socket.
+
+Determinism contract: the engine's visible behaviour (decision stream,
+job outcomes) is a pure function of (config, journal).  Every external
+input lands in the journal *with the slot it becomes due*, external
+events only enter the simulator through the event source at slot
+boundaries, and the scheduler stack below is the already-pinned
+deterministic core.  Snapshot = config + journal + slot; restore =
+replay.  See :mod:`repro.service.snapshot`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.cluster.job import SimJob
+from repro.cluster.metrics import SimulationResult
+from repro.cluster.simulator import ClusterSimulator
+from repro.core.clock import (CancelEvent, Clock, QueueEventSource,
+                              SubmitEvent)
+from repro.errors import (BadRequestError, ConfigurationError, JobStateError,
+                          ServiceError, UnknownJobError)
+from repro.faults.plan import FaultPlan
+from repro.obs import get_metrics
+from repro.schedulers.base import Scheduler
+from repro.schedulers.edf import EdfScheduler
+from repro.schedulers.fair import FairScheduler
+from repro.schedulers.fifo import FifoScheduler
+from repro.schedulers.rrh import RrhScheduler
+from repro.schedulers.rush import RushScheduler
+from repro.service.protocol import (SubmitRequest, canonical_digest,
+                                    parse_submit, records_digest)
+from repro.service.tenants import (TenantRegistry, TenantSpec,
+                                   tenants_from_dicts)
+from repro.workload.trace import spec_from_dict, spec_to_dict
+
+__all__ = ["ServiceConfig", "ServiceEngine", "POLICY_BUILDERS"]
+
+#: Policies the service can host.  ``capacity`` is special-cased onto
+#: the tenant queues; the rest take JSON-able keyword options.
+POLICY_BUILDERS: Dict[str, Callable[..., Scheduler]] = {
+    "rush": RushScheduler,
+    "fifo": FifoScheduler,
+    "edf": EdfScheduler,
+    "fair": FairScheduler,
+    "rrh": RrhScheduler,
+}
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Frozen daemon configuration — everything replay needs, JSON-able.
+
+    ``scheduler_options`` are keyword arguments for the policy builder
+    (e.g. ``{"theta": 0.95, "plan_time_budget": 0.5}`` for RUSH) and
+    must stay JSON-serializable so snapshots round-trip.
+    """
+
+    capacity: int
+    policy: str = "rush"
+    seed: int = 0
+    scheduler_options: Mapping[str, Any] = field(default_factory=dict)
+    tenants: Tuple[TenantSpec, ...] = ()
+    fault_spec: Optional[Mapping[str, Any]] = None
+
+    def __post_init__(self) -> None:
+        if self.policy != "capacity" and self.policy not in POLICY_BUILDERS:
+            known = ", ".join(sorted(POLICY_BUILDERS) + ["capacity"])
+            raise ConfigurationError(
+                f"unknown service policy {self.policy!r}; known: {known}")
+        if self.policy == "capacity" and self.scheduler_options:
+            raise ConfigurationError(
+                "the capacity policy takes its configuration from the "
+                "tenant shares, not scheduler_options")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "capacity": self.capacity,
+            "policy": self.policy,
+            "seed": self.seed,
+            "scheduler_options": dict(self.scheduler_options),
+            "tenants": [t.to_dict() for t in self.tenants],
+            "fault_spec": (dict(self.fault_spec)
+                           if self.fault_spec is not None else None),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ServiceConfig":
+        try:
+            return cls(
+                capacity=int(data["capacity"]),
+                policy=str(data.get("policy", "rush")),
+                seed=int(data.get("seed", 0)),
+                scheduler_options=dict(data.get("scheduler_options") or {}),
+                tenants=tenants_from_dicts(data.get("tenants") or ()),
+                fault_spec=data.get("fault_spec"))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed service config: {exc}") from None
+
+
+class ServiceEngine:
+    """Submit/cancel/query/tick over the clock-driven simulator core."""
+
+    def __init__(self, config: ServiceConfig, *,
+                 clock: Optional[Clock] = None) -> None:
+        self.config = config
+        self.registry = TenantRegistry(config.tenants)
+        if config.policy == "capacity":
+            self.scheduler: Scheduler = self.registry.capacity_scheduler()
+        else:
+            self.scheduler = POLICY_BUILDERS[config.policy](
+                **dict(config.scheduler_options))
+        faults = (FaultPlan.from_spec(config.fault_spec)
+                  if config.fault_spec is not None else None)
+        self.events = QueueEventSource()
+        self.sim = ClusterSimulator(
+            config.capacity, self.scheduler, seed=config.seed,
+            faults=faults, clock=clock, events=self.events,
+            record_decisions=True)
+        #: Ordered journal of every accepted external request.
+        self.journal: List[Dict[str, Any]] = []
+        self._auto_seq = 0
+        self._known: Dict[str, str] = {}  # job_id -> tenant
+        self._cancelling: set = set()
+        self._released: set = set()
+
+    # -- time -----------------------------------------------------------
+
+    @property
+    def slot(self) -> int:
+        """The next slot :meth:`tick` will process."""
+        return self.sim.now
+
+    @property
+    def clock(self) -> Clock:
+        """The clock driving the underlying simulator."""
+        return self.sim.clock
+
+    def tick(self, slots: int = 1) -> Dict[str, Any]:
+        """Advance the cluster ``slots`` slots; returns the new status."""
+        if slots < 1:
+            raise BadRequestError(
+                f"tick slots must be a positive integer, got {slots}")
+        for _ in range(slots):
+            self.sim.step()
+            self._release_finished()
+        return self.cluster_status()
+
+    def _release_finished(self) -> None:
+        for job in self.sim.completed_jobs:
+            if job.job_id not in self._released:
+                self._released.add(job.job_id)
+                self.registry.release(job.job_id)
+        for job in self.sim.cancelled_jobs:
+            if job.job_id not in self._released:
+                self._released.add(job.job_id)
+                self._cancelling.discard(job.job_id)
+                self.registry.release(job.job_id)
+
+    # -- requests --------------------------------------------------------
+
+    def submit(self, payload: object) -> Dict[str, Any]:
+        """Validate, admit and journal one submission; returns its status."""
+        request = parse_submit(payload)
+        return self._admit(request)
+
+    def _admit(self, request: SubmitRequest, *,
+               journal: bool = True) -> Dict[str, Any]:
+        now = self.slot
+        arrival = request.arrival if request.arrival is not None else now
+        if arrival < now:
+            raise BadRequestError(
+                f"arrival slot {arrival} is in the past (clock at {now})")
+        job_id = request.job_id
+        if job_id is None:
+            tenant_hint = (request.tenant if request.tenant is not None
+                           else self.registry.default_tenant)
+            self._auto_seq += 1
+            job_id = f"{tenant_hint}-{self._auto_seq}"
+        if job_id in self._known:
+            raise JobStateError(f"job id {job_id!r} was already submitted")
+        spec = request.build_spec(job_id, arrival)
+        tenant = self.registry.admit(request.tenant, job_id)
+        self._known[job_id] = tenant
+        self.events.push(SubmitEvent(spec), due=now)
+        if journal:
+            self.journal.append({"kind": "submit", "due": now,
+                                 "tenant": tenant,
+                                 "spec": spec_to_dict(spec)})
+        metrics = get_metrics()
+        if metrics.active:
+            metrics.counter(
+                "rush_service_jobs_submitted_total",
+                help="Jobs accepted by the service",
+                labels=("tenant",)).labels(tenant).inc()
+        return self.job_status(job_id)
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """Queue a cancellation for the next slot boundary."""
+        tenant = self._known.get(job_id)
+        if tenant is None:
+            raise UnknownJobError(job_id)
+        state = self._job_state(job_id)
+        if state in ("completed", "cancelled"):
+            raise JobStateError(
+                f"cannot cancel job {job_id!r}: already {state}")
+        if state != "cancelling":
+            self._cancelling.add(job_id)
+            self.events.push(CancelEvent(job_id), due=self.slot)
+            self.journal.append({"kind": "cancel", "due": self.slot,
+                                 "job_id": job_id})
+            metrics = get_metrics()
+            if metrics.active:
+                metrics.counter(
+                    "rush_service_jobs_cancelled_total",
+                    help="Cancellations accepted by the service",
+                    labels=("tenant",)).labels(tenant).inc()
+        return self.job_status(job_id)
+
+    def replay_entry(self, entry: Mapping[str, Any]) -> None:
+        """Re-apply one journaled request during snapshot restore.
+
+        Skips request validation — the entry was validated when first
+        accepted, and replay must reproduce the accepted sequence
+        verbatim (specs carry their final ids and arrival slots).
+        """
+        kind = entry.get("kind")
+        due = int(entry["due"])
+        if kind == "submit":
+            spec = spec_from_dict(entry["spec"])
+            tenant = self.registry.admit(entry.get("tenant"), spec.job_id)
+            self._known[spec.job_id] = tenant
+            self.events.push(SubmitEvent(spec), due=due)
+        elif kind == "cancel":
+            job_id = str(entry["job_id"])
+            self._cancelling.add(job_id)
+            self.events.push(CancelEvent(job_id), due=due)
+        else:
+            raise ServiceError(f"unknown journal entry kind {kind!r}")
+        self.journal.append(dict(entry))
+
+    # -- queries ---------------------------------------------------------
+
+    def _sim_job(self, job_id: str) -> Optional[SimJob]:
+        if not self.sim.has_job(job_id):
+            return None
+        return self.sim.job(job_id)
+
+    def _job_state(self, job_id: str) -> str:
+        job = self._sim_job(job_id)
+        if job is not None and job.is_complete:
+            return "completed"
+        if any(j.job_id == job_id for j in self.sim.cancelled_jobs):
+            return "cancelled"
+        if job_id in self._cancelling:
+            return "cancelling"
+        if job is None:
+            return "accepted"  # journaled; enters the cluster next tick
+        if job in self.sim.active_jobs:
+            return "running" if job.running_count > 0 else "pending"
+        return "queued"  # registered, waiting for its arrival slot
+
+    def job_status(self, job_id: str) -> Dict[str, Any]:
+        """Everything a client may ask about one job, degradation included."""
+        tenant = self._known.get(job_id)
+        if tenant is None:
+            raise UnknownJobError(job_id)
+        state = self._job_state(job_id)
+        job = self._sim_job(job_id)
+        status: Dict[str, Any] = {
+            "job_id": job_id,
+            "tenant": tenant,
+            "state": state,
+            "slot": self.slot,
+        }
+        if job is not None:
+            spec = job.spec
+            completion = job.completion_time
+            status.update({
+                "arrival": spec.arrival,
+                "tasks": len(spec.task_durations),
+                "pending_tasks": job.pending_count,
+                "running_tasks": job.running_count,
+                "completed_tasks": job.completed_count,
+                "failed_attempts": job.failed_count,
+                "budget": (spec.budget if math.isfinite(spec.budget)
+                           else None),
+                "sensitivity": spec.sensitivity,
+                "completion": completion,
+            })
+            if completion is not None:
+                runtime = float(completion - spec.arrival)
+                status["runtime"] = runtime
+                status["utility_value"] = spec.utility.value(runtime)
+        status["degradation"] = self._degradation_status()
+        return status
+
+    def _degradation_status(self) -> Dict[str, Any]:
+        """The ladder's health: rung counts plus the most recent fallback.
+
+        This is how a planner starved of its budget surfaces to clients
+        — a degraded-but-served answer in the payload, never a 500.
+        """
+        counts = dict(getattr(self.scheduler, "degradation_counts", {}) or {})
+        last: Optional[str] = None
+        last_slot: Optional[int] = None
+        for event in self.sim.fault_log.events:
+            if event.kind.startswith("degradation:"):
+                last = event.kind.split(":", 1)[1]
+                last_slot = event.slot
+        return {"fallbacks": counts, "last_fallback": last,
+                "last_fallback_slot": last_slot}
+
+    def list_jobs(self) -> List[Dict[str, Any]]:
+        return [self.job_status(job_id) for job_id in sorted(self._known)]
+
+    def cluster_status(self) -> Dict[str, Any]:
+        """The per-slot cluster summary (also the /stream payload)."""
+        active = self.sim.active_jobs
+        return {
+            "slot": self.slot,
+            "capacity": self.sim.capacity,
+            "free_containers": self.sim.free_container_count,
+            "active_jobs": len(active),
+            "queued_tasks": sum(j.pending_count for j in active),
+            "running_tasks": sum(j.running_count for j in active),
+            "completed_jobs": len(self.sim.completed_jobs),
+            "cancelled_jobs": len(self.sim.cancelled_jobs),
+            "scheduling_decisions": self.sim.scheduling_decisions,
+            "task_failures": self.sim.task_failures,
+            "tenants": self.registry.status(),
+            "degradation": self._degradation_status(),
+        }
+
+    @property
+    def idle(self) -> bool:
+        """No queued events and no pending or active work."""
+        return (len(self.events) == 0 and not self.sim.active_jobs
+                and not self.sim._pending_arrivals)
+
+    # -- results & digests ----------------------------------------------
+
+    def result(self) -> SimulationResult:
+        """The run-so-far as a standard :class:`SimulationResult`."""
+        return self.sim._result()
+
+    def decision_stream(self) -> List[Tuple[int, str, str]]:
+        """The recorded grant stream (slot, kind, job_id)."""
+        return list(self.sim.decisions)
+
+    def decisions_digest(self) -> str:
+        return canonical_digest([list(d) for d in self.sim.decisions])
+
+    def records_digest(self) -> str:
+        """Digest of completed-job outcomes (simulator-path comparable)."""
+        return records_digest(self.result().records)
+
+    # -- chaos ----------------------------------------------------------
+
+    def inject_solver_fault(self, depth: int = 1) -> Dict[str, Any]:
+        """Arm a forced solver failure (the daemon-side chaos hook)."""
+        if not isinstance(depth, int) or isinstance(depth, bool) \
+                or not 1 <= depth <= 3:
+            raise BadRequestError(
+                f"solver-fault depth must be an integer in [1, 3], "
+                f"got {depth!r}")
+        hook = getattr(self.scheduler, "inject_solver_fault", None)
+        if hook is None:
+            raise BadRequestError(
+                f"policy {self.config.policy!r} has no solver to sabotage")
+        hook(depth)
+        return {"armed": True, "depth": depth, "slot": self.slot}
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        closer = getattr(self.scheduler, "close", None)
+        if closer is not None:
+            closer()

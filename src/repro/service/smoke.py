@@ -1,0 +1,136 @@
+"""The service smoke battery: HTTP path ≡ simulator path, end to end.
+
+Boots the daemon in manual-clock mode, replays a scenario workload
+through the HTTP API (submit each job, tick the clock to completion,
+scrape ``/metrics`` and ``/digest``), runs the *same* workload through
+the plain batch simulator, and diffs the canonical outcome digests.
+They must be byte-identical: the daemon is the same deterministic core
+behind a socket, and this is the check CI's ``service-smoke`` job runs
+on every push (``rush serve --smoke``).
+
+The equivalence leans on three invariants pinned elsewhere:
+
+* submissions delivered through :class:`~repro.core.clock.SubmitEvent`
+  before the first tick land in the same arrival-sorted admission order
+  as upfront ``sim.submit`` calls (``tests/test_clock.py``);
+* a journal replay re-derives the identical decision stream
+  (``tests/test_service.py``);
+* the trace-record payload round-trips specs exactly
+  (``tests/test_trace_roundtrip.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Optional
+
+from repro import obs
+from repro.cluster.simulator import run_simulation
+from repro.errors import ServiceError
+from repro.schedulers.rush import RushScheduler
+from repro.service.client import ServiceClient
+from repro.service.daemon import ServiceDaemon
+from repro.service.engine import ServiceConfig, ServiceEngine
+from repro.service.protocol import records_digest, submit_payload_from_spec
+from repro.workload.scenarios import build_scenario_workload, scenario_by_name
+
+__all__ = ["run_service_smoke", "SMOKE_SCENARIO"]
+
+SMOKE_SCENARIO = "hpc-replay"
+
+#: Metric families the scrape must expose once the daemon has run jobs.
+_EXPECTED_METRICS = (
+    "rush_service_jobs_submitted_total",
+    "rush_sim_tasks_completed_total",
+)
+
+
+def _scheduler_options(theta: float, delta: float) -> Dict[str, Any]:
+    return {"theta": theta, "delta": delta}
+
+
+async def _drive_service(engine: ServiceEngine, specs, *,
+                         max_slots: int) -> Dict[str, Any]:
+    daemon = ServiceDaemon(engine)
+    await daemon.start()
+    try:
+        client = ServiceClient("127.0.0.1", daemon.port)
+        health = await client.healthz()
+        if not health.get("ok"):
+            raise ServiceError(f"daemon failed its health check: {health}")
+        for spec in specs:
+            await client.submit(submit_payload_from_spec(spec))
+        ticks = 0
+        digest = await client.request_json("GET", "/digest")
+        while not digest["idle"] and ticks < max_slots:
+            # Batch ticks to keep the HTTP round-trips off the critical
+            # path; correctness is per-slot regardless of batch size.
+            await client.tick(50)
+            ticks += 50
+            digest = await client.request_json("GET", "/digest")
+        metrics_text = await client.metrics_text()
+        status = await client.status()
+        return {"digest": digest, "metrics_text": metrics_text,
+                "status": status}
+    finally:
+        await daemon.stop()
+
+
+def run_service_smoke(scenario_name: str = SMOKE_SCENARIO, *,
+                      seed: int = 0, fast: bool = True,
+                      max_slots: Optional[int] = None) -> Dict[str, Any]:
+    """Run the battery; returns a report with ``"match": True`` on success.
+
+    Raises :class:`~repro.errors.ServiceError` when the HTTP-path digest
+    diverges from the simulator path or the metrics scrape is missing an
+    expected family — CI treats any raise as a failed gate.
+    """
+    scenario = scenario_by_name(scenario_name)
+    specs = build_scenario_workload(scenario, seed=seed, fast=fast)
+    capacity = scenario.capacity(fast)
+    limit = max_slots if max_slots is not None else scenario.max_slots
+    options = _scheduler_options(scenario.theta, scenario.delta)
+
+    # Simulator path first, with observability off so the service path's
+    # scrape below starts from a clean registry.
+    obs.reset()
+    sim_result = run_simulation(
+        specs, capacity, RushScheduler(**options), max_slots=limit,
+        seed=seed, raise_on_timeout=True)
+    sim_digest = records_digest(sim_result.records)
+
+    obs.enable(trace=False, metrics=True, ledger=False)
+    try:
+        engine = ServiceEngine(ServiceConfig(
+            capacity=capacity, policy="rush", seed=seed,
+            scheduler_options=options))
+        service = asyncio.run(
+            _drive_service(engine, specs, max_slots=limit))
+    finally:
+        obs.reset()
+
+    service_digest = service["digest"]["records"]
+    report: Dict[str, Any] = {
+        "scenario": scenario.name,
+        "fast": fast,
+        "seed": seed,
+        "jobs": len(specs),
+        "capacity": capacity,
+        "slots": service["digest"]["slot"],
+        "simulator_digest": sim_digest,
+        "service_digest": service_digest,
+        "match": service_digest == sim_digest,
+        "decisions_digest": service["digest"]["decisions"],
+        "metrics_bytes": len(service["metrics_text"]),
+    }
+    if not report["match"]:
+        raise ServiceError(
+            "service smoke failed: HTTP-path records digest "
+            f"{service_digest[:12]}… != simulator-path {sim_digest[:12]}… "
+            f"on scenario {scenario.name!r} (seed {seed})")
+    missing = [name for name in _EXPECTED_METRICS
+               if name not in service["metrics_text"]]
+    if missing:
+        raise ServiceError(
+            f"/metrics scrape is missing familie(s): {', '.join(missing)}")
+    return report

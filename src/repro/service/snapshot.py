@@ -1,0 +1,139 @@
+"""Snapshot and restore of the service's full scheduling state.
+
+The engine's behaviour is a pure function of (config, journal): every
+external input is journaled with the slot it became due, and everything
+below the journal — planner, estimators, utility ledger, fault streams —
+is deterministic given the slot sequence.  So a snapshot does not
+serialize the planner's matrices or the estimators' sample buffers at
+all; it freezes the *inputs* (config + journal + current slot) and
+restore rebuilds the state by replaying them through a fresh engine.
+That is both simpler and stronger than pickling internals: the restored
+daemon provably re-derives the same decisions, and the snapshot carries
+a digest of the decision stream so restore can verify the equivalence
+instead of assuming it.
+
+Format (JSON-able)::
+
+    {"format": "rush-service-snapshot", "version": 1,
+     "config": {...},        # ServiceConfig.to_dict()
+     "slot": 42,             # the slot the engine had reached
+     "auto_seq": 7,          # auto-id counter, so new ids never collide
+     "journal": [...],       # ordered submit/cancel entries
+     "decisions_digest": "<sha256 of the decision stream>"}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+from repro.core.clock import Clock
+from repro.errors import ConfigurationError, ServiceError
+from repro.service.engine import ServiceConfig, ServiceEngine
+
+__all__ = ["SNAPSHOT_FORMAT", "SNAPSHOT_VERSION", "take_snapshot",
+           "restore_engine", "save_snapshot", "load_snapshot"]
+
+SNAPSHOT_FORMAT = "rush-service-snapshot"
+SNAPSHOT_VERSION = 1
+
+
+class SnapshotError(ServiceError):
+    """A snapshot is malformed or replay failed to reproduce its state."""
+
+    code = "snapshot-error"
+    status = 500
+
+
+def take_snapshot(engine: ServiceEngine) -> Dict[str, Any]:
+    """Freeze the engine's inputs; cheap, read-only, any time."""
+    return {
+        "format": SNAPSHOT_FORMAT,
+        "version": SNAPSHOT_VERSION,
+        "config": engine.config.to_dict(),
+        "slot": engine.slot,
+        "auto_seq": engine._auto_seq,
+        "journal": [dict(entry) for entry in engine.journal],
+        "decisions_digest": engine.decisions_digest(),
+    }
+
+
+def restore_engine(snapshot: Mapping[str, Any], *,
+                   clock: Optional[Clock] = None,
+                   verify: bool = True) -> ServiceEngine:
+    """Rebuild an engine from a snapshot by replaying its journal.
+
+    The replay interleaves journal entries with ticks exactly as the
+    original run did — each entry is applied while the clock sits at the
+    slot it was originally accepted in, so tenant quotas, event ordering
+    and fault streams all re-derive identically.  With ``verify`` the
+    rebuilt decision stream is checked against the snapshot's digest; a
+    mismatch raises :class:`SnapshotError` rather than resuming from a
+    silently divergent state.
+
+    ``clock`` may be a real-time clock (its ``advance`` never sleeps, so
+    replay is instant); the daemon rebases it afterwards.
+    """
+    if not isinstance(snapshot, Mapping):
+        raise SnapshotError("snapshot must be a JSON object")
+    if snapshot.get("format") != SNAPSHOT_FORMAT:
+        raise SnapshotError(
+            f"not a service snapshot (format {snapshot.get('format')!r})")
+    if snapshot.get("version") != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"unsupported snapshot version {snapshot.get('version')!r}")
+    try:
+        config = ServiceConfig.from_dict(snapshot["config"])
+        target_slot = int(snapshot["slot"])
+        auto_seq = int(snapshot.get("auto_seq", 0))
+        journal = list(snapshot.get("journal") or [])
+    except (KeyError, TypeError, ValueError, ConfigurationError) as exc:
+        raise SnapshotError(f"malformed snapshot: {exc}") from None
+
+    engine = ServiceEngine(config, clock=clock)
+    for entry in journal:
+        try:
+            due = int(entry["due"])
+        except (KeyError, TypeError, ValueError):
+            raise SnapshotError(
+                f"journal entry without a due slot: {entry!r}") from None
+        if due < engine.slot:
+            raise SnapshotError(
+                f"journal is out of order: entry due {due} after "
+                f"slot {engine.slot}")
+        while engine.slot < due:
+            engine.tick()
+        engine.replay_entry(entry)
+    while engine.slot < target_slot:
+        engine.tick()
+    engine._auto_seq = max(engine._auto_seq, auto_seq)
+
+    if verify:
+        expected = snapshot.get("decisions_digest")
+        actual = engine.decisions_digest()
+        if expected is not None and actual != expected:
+            raise SnapshotError(
+                "replay diverged from the snapshotted run: decision "
+                f"digest {actual[:12]}… != expected {str(expected)[:12]}…")
+    return engine
+
+
+def save_snapshot(engine: ServiceEngine, path: Union[str, Path]) -> None:
+    """Write a snapshot atomically (write-then-rename) to ``path``."""
+    path = Path(path)
+    blob = json.dumps(take_snapshot(engine), sort_keys=True, indent=2)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(blob + "\n", encoding="utf-8")
+    tmp.replace(path)
+
+
+def load_snapshot(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read a snapshot file; malformed JSON raises :class:`SnapshotError`."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SnapshotError(f"cannot read snapshot {path}: {exc}") from None
+    if not isinstance(data, dict):
+        raise SnapshotError(f"snapshot {path} is not a JSON object")
+    return data

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import asyncio
+import gc
+
 import numpy as np
 import pytest
 
@@ -27,6 +30,32 @@ def _isolate_global_registries():
     RULE_REGISTRY.clear()
     RULE_REGISTRY.update(rules_before)
     obs.reset()
+
+
+@pytest.fixture(autouse=True)
+def _no_asyncio_leaks():
+    """Audit and contain asyncio event-loop leakage between tests.
+
+    The service suite drives real sockets through ``asyncio.run``, which
+    creates and closes a fresh loop per call — the clean pattern.  The
+    failure mode this fixture guards against is a test (or library code)
+    that installs a loop via ``new_event_loop``/``set_event_loop`` and
+    forgets to close it: the loop, its self-pipe FDs and any lingering
+    transports would then leak into every later test.  Any such stray
+    loop is closed and deregistered here; the ``filterwarnings``
+    configuration in pyproject.toml turns the matching asyncio
+    ResourceWarnings into hard errors, so an unclosed transport or loop
+    fails the test that leaked it instead of degrading the process.
+    """
+    yield
+    policy = asyncio.get_event_loop_policy()
+    stray = getattr(getattr(policy, "_local", None), "_loop", None)
+    if stray is not None and not stray.is_closed():
+        stray.close()
+    asyncio.set_event_loop(None)
+    # Collect now so unclosed-resource warnings fire inside the test
+    # that owns them, not at an arbitrary later GC point.
+    gc.collect()
 
 
 @pytest.fixture

@@ -1,0 +1,503 @@
+"""In-process integration tests for the scheduler service.
+
+Everything runs against real sockets on the loopback interface — the
+daemon under test is the exact stack ``rush serve`` boots (stdlib
+asyncio HTTP, manual-clock mode so the tests own time) — but inside a
+single ``asyncio.run`` per test, so the suite stays fast and leak-free.
+
+Covered here:
+
+* the submit → query → stream → cancel lifecycle over HTTP;
+* malformed requests rejected with *typed* error bodies (a bare 500
+  always means a daemon bug, and nothing in this suite produces one);
+* concurrent multi-tenant submission with quota enforcement (429) and
+  quota release on completion;
+* ``/metrics`` serving the live Prometheus registry;
+* snapshot → kill → restore → resume with an identical decision stream
+  (engine-level and through the HTTP endpoint), plus tamper detection;
+* the daemon-side chaos case: an injected ``SolverBudgetError`` surfaces
+  as a degradation-ladder fallback in the job-status payload — a served
+  answer, never an error response.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from contextlib import asynccontextmanager
+
+import pytest
+
+from repro import obs
+from repro.errors import (BadRequestError, ConfigurationError, JobStateError,
+                          TenantQuotaError, UnknownJobError)
+from repro.service import (RealTimeClock, ServiceClient, ServiceConfig,
+                           ServiceDaemon, ServiceEngine, ServiceRequestError,
+                           TenantSpec, restore_engine, take_snapshot)
+from repro.service.smoke import run_service_smoke
+from repro.service.snapshot import SnapshotError
+
+JOB = {"task_durations": [2, 2], "budget": 12}
+
+
+def _config(**kw) -> ServiceConfig:
+    kw.setdefault("capacity", 2)
+    kw.setdefault("policy", "fifo")
+    return ServiceConfig(**kw)
+
+
+@asynccontextmanager
+async def serving(config=None, **daemon_kw):
+    """Boot a manual-clock daemon on an ephemeral port; always stop it."""
+    engine = ServiceEngine(config or _config())
+    daemon = ServiceDaemon(engine, **daemon_kw)
+    await daemon.start()
+    try:
+        yield daemon, ServiceClient("127.0.0.1", daemon.port)
+    finally:
+        await daemon.stop()
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle over HTTP
+# ---------------------------------------------------------------------------
+
+
+def test_submit_query_cancel_lifecycle():
+    async def scenario():
+        async with serving() as (_daemon, client):
+            health = await client.healthz()
+            assert health == {"ok": True, "slot": 0}
+
+            a = await client.submit(dict(JOB, job_id="a"))
+            assert (a["state"], a["tenant"]) == ("accepted", "default")
+            b = await client.submit(dict(JOB, job_id="b"))
+            assert b["state"] == "accepted"
+
+            await client.tick()
+            a = await client.job("a")
+            assert a["state"] == "running"
+            assert a["running_tasks"] == 2  # fifo: both containers to a
+
+            cancelled = await client.cancel("b")
+            assert cancelled["state"] == "cancelling"
+            await client.tick()
+            assert (await client.job("b"))["state"] == "cancelled"
+
+            await client.tick(5)
+            a = await client.job("a")
+            assert a["state"] == "completed"
+            assert a["completion"] == 2 and a["runtime"] == 2.0
+
+            jobs = await client.jobs()
+            assert [(j["job_id"], j["state"]) for j in jobs] == [
+                ("a", "completed"), ("b", "cancelled")]
+            status = await client.status()
+            assert status["completed_jobs"] == 1
+            assert status["cancelled_jobs"] == 1
+            assert status["service"]["mode"] == "manual"
+
+    asyncio.run(scenario())
+
+
+def test_queued_job_waits_for_its_arrival_slot():
+    async def scenario():
+        async with serving() as (_daemon, client):
+            job = await client.submit(dict(JOB, job_id="later", arrival=3))
+            assert job["state"] == "accepted"
+            await client.tick()
+            assert (await client.job("later"))["state"] == "queued"
+            await client.tick(3)
+            assert (await client.job("later"))["state"] == "running"
+
+    asyncio.run(scenario())
+
+
+def test_stream_reports_each_slot():
+    async def scenario():
+        async with serving() as (_daemon, client):
+            await client.submit(dict(JOB, job_id="s"))
+
+            async def ticker():
+                await asyncio.sleep(0.05)  # let the stream subscribe
+                for _ in range(4):
+                    await client.tick()
+
+            payloads, _ = await asyncio.gather(client.stream(4), ticker())
+            assert [p["slot"] for p in payloads] == [0, 1, 2, 3]
+            assert payloads[1]["active_jobs"] == 1
+            assert payloads[-1]["completed_jobs"] == 1
+
+    asyncio.run(scenario())
+
+
+def test_metrics_endpoint_serves_live_registry():
+    async def scenario():
+        async with serving() as (_daemon, client):
+            text = await client.metrics_text()
+            assert "rush_service_jobs_submitted_total" not in text
+            await client.submit(dict(JOB, job_id="m"))
+            await client.tick(6)
+            text = await client.metrics_text()
+            assert 'rush_service_jobs_submitted_total{tenant="default"} 1' \
+                in text
+            assert "rush_sim_tasks_completed_total" in text
+
+    obs.enable(trace=False, metrics=True, ledger=False)
+    asyncio.run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# Typed request rejection — never a 500
+# ---------------------------------------------------------------------------
+
+
+def test_malformed_requests_get_typed_errors():
+    async def scenario():
+        async with serving() as (_daemon, client):
+            # raw non-JSON body
+            status, _ctype, raw = await client.request(
+                "POST", "/jobs", payload=None)
+            assert status == 400  # missing body
+            cases = [
+                ("POST", "/jobs", {"task_durations": []},
+                 400, "bad-request"),
+                ("POST", "/jobs", {"task_durations": [1], "nope": 1},
+                 400, "bad-request"),
+                ("POST", "/jobs", {"task_durations": [0]},
+                 400, "bad-request"),
+                ("POST", "/jobs", {"task_durations": [1], "tenant": "ghost"},
+                 400, "bad-request"),
+                ("POST", "/jobs", {"task_durations": [1], "arrival": -1},
+                 400, "bad-request"),
+                ("GET", "/jobs/ghost", None, 404, "unknown-job"),
+                ("DELETE", "/jobs/ghost", None, 404, "unknown-job"),
+                ("POST", "/tick", {"slots": "three"}, 400, "bad-request"),
+                ("POST", "/tick", {"slots": 0}, 400, "bad-request"),
+                ("POST", "/chaos/solver-fault", {"depth": 1},
+                 400, "bad-request"),  # chaos not enabled on this daemon
+                ("GET", "/no/such/route", None, 404, "not-found"),
+                ("PUT", "/jobs", {"task_durations": [1]}, 404, "not-found"),
+            ]
+            for method, path, payload, want_status, want_code in cases:
+                with pytest.raises(ServiceRequestError) as err:
+                    await client.request_json(method, path, payload)
+                assert (err.value.status, err.value.code) == \
+                    (want_status, want_code), (method, path, payload)
+
+            # duplicate id → 409, cancel-completed → 409
+            await client.submit(dict(JOB, job_id="dup"))
+            with pytest.raises(ServiceRequestError) as err:
+                await client.submit(dict(JOB, job_id="dup"))
+            assert (err.value.status, err.value.code) == (409, "job-state")
+            await client.tick(6)
+            with pytest.raises(ServiceRequestError) as err:
+                await client.cancel("dup")
+            assert (err.value.status, err.value.code) == (409, "job-state")
+
+            # malformed JSON over the raw transport
+            status, _ctype, raw = await client.request(
+                "POST", "/jobs", payload=None)
+            assert status == 400
+            body = json.loads(raw)
+            assert body["error"]["code"] == "bad-request"
+
+    asyncio.run(scenario())
+
+
+def test_engine_rejects_past_arrivals_and_ticks():
+    engine = ServiceEngine(_config())
+    engine.tick(3)
+    with pytest.raises(BadRequestError):
+        engine.submit(dict(JOB, arrival=1))
+    with pytest.raises(BadRequestError):
+        engine.tick(0)
+    with pytest.raises(UnknownJobError):
+        engine.job_status("nobody")
+    auto = engine.submit(dict(JOB))
+    assert auto["job_id"] == "default-1"  # auto-assigned, tenant-prefixed
+
+
+# ---------------------------------------------------------------------------
+# Multi-tenancy: concurrent submission, quotas, shares
+# ---------------------------------------------------------------------------
+
+TENANTS = (TenantSpec("alpha", share=0.5, max_active=2),
+           TenantSpec("beta", share=0.5))
+
+
+def test_concurrent_tenants_and_quota_enforcement():
+    async def scenario():
+        async with serving(_config(tenants=TENANTS)) as (_daemon, client):
+            payloads = [dict(JOB, job_id=f"a{k}", tenant="alpha")
+                        for k in range(4)]
+            payloads += [dict(JOB, job_id=f"b{k}", tenant="beta")
+                         for k in range(4)]
+
+            async def try_submit(payload):
+                try:
+                    return await client.submit(payload)
+                except ServiceRequestError as exc:
+                    return exc
+
+            results = await asyncio.gather(*[try_submit(p) for p in payloads])
+            quota_hits = [r for r in results
+                          if isinstance(r, ServiceRequestError)]
+            accepted = [r for r in results if isinstance(r, dict)]
+            # alpha's max_active=2 rejects 2 of its 4; beta is unlimited.
+            assert len(quota_hits) == 2
+            assert all((e.status, e.code) == (429, "quota-exceeded")
+                       for e in quota_hits)
+            assert len(accepted) == 6
+
+            tenants = await client.tenants()
+            assert tenants["alpha"]["live_jobs"] == 2
+            assert tenants["beta"]["live_jobs"] == 4
+            assert tenants["alpha"]["share"] == 0.5
+
+            # completions release quota: alpha can submit again
+            await client.tick(20)
+            assert (await client.tenants())["alpha"]["live_jobs"] == 0
+            retry = await client.submit(dict(JOB, tenant="alpha"))
+            assert retry["tenant"] == "alpha"
+
+    asyncio.run(scenario())
+
+
+def test_capacity_policy_uses_tenant_shares_as_queues():
+    engine = ServiceEngine(ServiceConfig(
+        capacity=4, policy="capacity", tenants=TENANTS))
+    engine.submit(dict(JOB, job_id="a0", tenant="alpha"))
+    engine.submit(dict(JOB, job_id="b0", tenant="beta"))
+    engine.tick()
+    a0, b0 = engine.job_status("a0"), engine.job_status("b0")
+    # with equal shares and 4 containers, each tenant's job runs 2 tasks
+    assert a0["running_tasks"] == 2 and b0["running_tasks"] == 2
+    engine.tick(6)
+    assert engine.job_status("a0")["state"] == "completed"
+    assert engine.job_status("b0")["state"] == "completed"
+    assert engine.config.to_dict()["policy"] == "capacity"
+
+
+def test_capacity_policy_rejects_scheduler_options():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        ServiceConfig(capacity=2, policy="capacity",
+                      scheduler_options={"theta": 0.9})
+    with pytest.raises(ConfigurationError):
+        ServiceConfig(capacity=2, policy="definitely-not-a-policy")
+
+
+def test_engine_typed_errors_without_http():
+    engine = ServiceEngine(_config(tenants=TENANTS))
+    engine.submit(dict(JOB, job_id="a0", tenant="alpha"))
+    engine.submit(dict(JOB, job_id="a1", tenant="alpha"))
+    with pytest.raises(TenantQuotaError):
+        engine.submit(dict(JOB, job_id="a2", tenant="alpha"))
+    with pytest.raises(BadRequestError):
+        engine.submit(dict(JOB, tenant="ghost"))
+    assert engine.cancel("a0")["state"] == "cancelling"
+    # cancelling again while the cancel is in flight is idempotent...
+    assert engine.cancel("a0")["state"] == "cancelling"
+    engine.tick()
+    # ...but cancelling a *cancelled* job is a state error
+    with pytest.raises(JobStateError):
+        engine.cancel("a0")
+
+
+# ---------------------------------------------------------------------------
+# Snapshot → kill → restore → resume
+# ---------------------------------------------------------------------------
+
+
+def _rush_config() -> ServiceConfig:
+    return ServiceConfig(capacity=2, policy="rush", seed=3,
+                         scheduler_options={"theta": 0.9, "delta": 0.7})
+
+
+def _busy_engine() -> ServiceEngine:
+    engine = ServiceEngine(_rush_config())
+    engine.submit({"task_durations": [3, 2, 2], "budget": 14, "job_id": "a"})
+    engine.submit({"task_durations": [4], "budget": 9, "job_id": "b"})
+    engine.tick(2)
+    engine.submit({"task_durations": [2, 2], "budget": 8, "job_id": "c"})
+    engine.tick(1)
+    engine.cancel("b")
+    engine.tick(1)
+    return engine
+
+
+def test_snapshot_restore_resumes_identical_decision_stream():
+    original = _busy_engine()
+    snap = take_snapshot(original)
+
+    # the original keeps running to completion: the reference stream
+    original.tick(30)
+    reference_decisions = original.decision_stream()
+    reference_records = original.records_digest()
+
+    # "kill": the restored engine is a brand-new object, rebuilt purely
+    # from the snapshot dict (round-tripped through JSON like the file).
+    revived = restore_engine(json.loads(json.dumps(snap)))
+    assert revived.slot == snap["slot"]
+    assert revived.decisions_digest() == snap["decisions_digest"]
+    revived.tick(30)
+    assert revived.decision_stream() == reference_decisions
+    assert revived.records_digest() == reference_records
+    assert [e["kind"] for e in revived.journal] == \
+        [e["kind"] for e in original.journal]
+
+
+def test_snapshot_restore_over_http():
+    async def scenario():
+        async with serving(_rush_config()) as (_daemon, client):
+            await client.submit(
+                {"task_durations": [3, 2], "budget": 10, "job_id": "x"})
+            await client.tick(2)
+            snap = await client.snapshot()
+            reference = await client.request_json("GET", "/digest")
+            return snap, reference
+
+    snap, reference = asyncio.run(scenario())
+    # the daemon above is gone; boot a fresh one from the snapshot
+    revived = restore_engine(snap)
+
+    async def resumed():
+        daemon = ServiceDaemon(revived)
+        await daemon.start()
+        try:
+            client = ServiceClient("127.0.0.1", daemon.port)
+            digest = await client.request_json("GET", "/digest")
+            assert digest["decisions"] == reference["decisions"]
+            assert digest["slot"] == reference["slot"]
+            # the revived daemon keeps serving: same job, same state
+            assert (await client.job("x"))["state"] == "running"
+        finally:
+            await daemon.stop()
+
+    asyncio.run(resumed())
+
+
+def test_snapshot_tampering_is_detected():
+    snap = take_snapshot(_busy_engine())
+    tampered = json.loads(json.dumps(snap))
+    for entry in tampered["journal"]:
+        if entry["kind"] == "submit":
+            entry["spec"]["task_durations"] = [9, 9, 9]
+    with pytest.raises(SnapshotError):
+        restore_engine(tampered)
+    with pytest.raises(SnapshotError):
+        restore_engine({"format": "something-else"})
+    with pytest.raises(SnapshotError):
+        restore_engine(dict(snap, version=99))
+
+
+# ---------------------------------------------------------------------------
+# Chaos: solver faults degrade the answer, not the request
+# ---------------------------------------------------------------------------
+
+
+def test_injected_solver_fault_reports_degradation_not_500():
+    async def scenario():
+        async with serving(_rush_config(), chaos=True) as (_daemon, client):
+            await client.submit(
+                {"task_durations": [3, 3, 2], "budget": 14, "job_id": "j"})
+            await client.tick(1)  # a healthy plan first
+            before = await client.job("j")
+            assert before["degradation"]["last_fallback"] is None
+
+            armed = await client.chaos_solver_fault(depth=1)
+            assert armed == {"armed": True, "depth": 1, "slot": 1}
+            # the next planning round runs at slot 3, when the first two
+            # tasks free their containers and the third needs a grant —
+            # that is the solve the armed fault sabotages
+            await client.tick(3)
+
+            after = await client.job("j")  # a 200, not an error
+            ladder = after["degradation"]
+            assert sum(ladder["fallbacks"].values()) >= 1
+            assert ladder["last_fallback"] in (
+                "cold_exact", "last_good", "greedy_edf")
+            assert ladder["last_fallback_slot"] == 3
+            # and the cluster kept scheduling through the fault
+            status = await client.status()
+            assert status["running_tasks"] >= 1
+
+            with pytest.raises(ServiceRequestError) as err:
+                await client.chaos_solver_fault(depth=7)
+            assert err.value.status == 400
+
+    asyncio.run(scenario())
+
+
+def test_chaos_depth_validation_and_policy_guard():
+    engine = ServiceEngine(_config())  # fifo: nothing to sabotage
+    with pytest.raises(BadRequestError):
+        engine.inject_solver_fault(1)
+    rush = ServiceEngine(_rush_config())
+    with pytest.raises(BadRequestError):
+        rush.inject_solver_fault(True)  # bool is not a depth
+
+
+# ---------------------------------------------------------------------------
+# Clean shutdown: no lingering loops, transports or tasks
+# ---------------------------------------------------------------------------
+
+
+def test_daemon_stop_closes_listener_and_streams():
+    async def scenario():
+        engine = ServiceEngine(_config())
+        daemon = ServiceDaemon(engine)
+        await daemon.start()
+        client = ServiceClient("127.0.0.1", daemon.port)
+        port = daemon.port
+
+        stream_task = asyncio.create_task(client.stream(100))
+        await asyncio.sleep(0.05)  # stream subscribes
+        assert len(daemon._subscribers) == 1
+        await daemon.stop()
+        # the open stream was terminated by the stop sentinel, not left
+        # hanging — and the port no longer accepts connections
+        payloads = await asyncio.wait_for(stream_task, timeout=2)
+        assert len(payloads) >= 1
+        with pytest.raises(OSError):
+            await asyncio.open_connection("127.0.0.1", port)
+
+    asyncio.run(scenario())
+    # after asyncio.run returns nothing may linger (the conftest audit
+    # fixture and the ResourceWarning filters enforce the rest)
+
+
+def test_daemon_rejects_clock_the_engine_does_not_share():
+    """A pacing clock the engine doesn't tick on is a wiring bug.
+
+    The slot loop would await boundaries on a clock that never
+    advances, degenerating into a catch-up spin, while the engine's own
+    slots stand still — so the constructor refuses the divergent pair
+    outright instead of serving a daemon whose time is broken.
+    """
+    engine = ServiceEngine(_config())
+    try:
+        with pytest.raises(ConfigurationError):
+            ServiceDaemon(engine, clock=RealTimeClock(slot_seconds=0.05))
+        shared = RealTimeClock(slot_seconds=0.05)
+        paired = ServiceEngine(_config(), clock=shared)
+        try:
+            ServiceDaemon(paired, clock=shared)  # correct wiring: accepted
+        finally:
+            paired.close()
+    finally:
+        engine.close()
+
+
+# ---------------------------------------------------------------------------
+# The CI equivalence battery (slow lane)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.slow
+def test_service_smoke_battery_matches_simulator_path():
+    report = run_service_smoke(seed=0, fast=True)
+    assert report["match"] is True
+    assert report["jobs"] == 50
