@@ -73,9 +73,10 @@ from repro.schedulers import (
 from repro.cluster.simulator import run_simulation
 from repro.analysis.scenario import render_scenario_text, save_scenario_json
 from repro.service import (RealTimeClock, ServiceConfig, ServiceDaemon,
-                           ServiceEngine, load_snapshot, restore_engine,
-                           run_service_smoke, tenants_from_dicts)
-from repro.service.smoke import SMOKE_SCENARIO
+                           ServiceEngine, load_snapshot, open_journal,
+                           restore_engine, run_service_smoke,
+                           tenants_from_dicts)
+from repro.service.smoke import SMOKE_SCENARIO, run_crash_smoke
 from repro.ui.status import (render_fault_text, render_profile_text,
                              render_status_html, render_status_text)
 from repro.workload.generator import WorkloadConfig, WorkloadGenerator
@@ -293,6 +294,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--restore", action="store_true",
                        help="restore state from --snapshot at boot "
                             "(journal replay, digest-verified)")
+    serve.add_argument("--journal-dir", metavar="DIR",
+                       help="durable write-ahead journal: every "
+                            "submit/cancel/tick is fsynced to DIR before "
+                            "it is applied, and an existing journal is "
+                            "recovered (digest-verified) at boot")
+    serve.add_argument("--crash-smoke", action="store_true",
+                       help="run the crash-recovery smoke battery "
+                            "instead of serving: boot a journaled "
+                            "daemon, kill -9 it mid-stream, restart, "
+                            "and diff the decision digest")
     serve.add_argument("--smoke", action="store_true",
                        help="run the CI equivalence battery instead of "
                             "serving: replay a scenario through the "
@@ -557,12 +568,21 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import json
+    import signal
 
     if args.smoke:
         report = run_service_smoke(args.scenario, seed=args.seed,
                                    fast=not args.full)
         print(json.dumps(report, indent=2, sort_keys=True))
         return 0
+    if args.crash_smoke:
+        report = run_crash_smoke(args.journal_dir, seed=args.seed)
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    if args.restore and args.journal_dir:
+        raise ReproError(
+            "--restore and --journal-dir are mutually exclusive: the "
+            "journal directory carries its own recovery anchor")
 
     options = json.loads(args.scheduler_options) \
         if args.scheduler_options else {}
@@ -572,27 +592,43 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                            seed=args.seed, scheduler_options=options,
                            tenants=tenants)
     clock = None if args.manual else RealTimeClock(args.slot_seconds)
+    durable = bool(args.journal_dir)
 
     async def _serve() -> None:
+        # Enabled before the engine exists so journal recovery lands in
+        # the metrics/span registries the daemon will serve.
+        obs.enable(trace=True, metrics=True, ledger=True)
         if args.restore:
             if not args.snapshot:
                 raise ReproError("--restore requires --snapshot PATH")
             engine = restore_engine(load_snapshot(args.snapshot),
                                     clock=clock)
+        elif durable:
+            engine, _writer = open_journal(args.journal_dir, config,
+                                           clock=clock)
         else:
             engine = ServiceEngine(config, clock=clock)
-        obs.enable(trace=False, metrics=True, ledger=True)
         daemon = ServiceDaemon(engine, clock=clock, chaos=args.chaos,
                                snapshot_path=args.snapshot)
         await daemon.start(args.host, args.port)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
         mode = "manual ticks" if args.manual \
             else f"{args.slot_seconds:g}s slots"
+        extra = f", journal {args.journal_dir}" if durable else ""
         print(f"rush service on http://{args.host}:{daemon.port} "
-              f"({args.policy}, capacity {args.capacity}, {mode}); "
+              f"({args.policy}, capacity {args.capacity}, {mode}{extra}); "
               "Ctrl-C stops", flush=True)
         try:
-            await asyncio.Event().wait()  # serve until interrupted
+            await stop.wait()  # serve until SIGTERM/SIGINT
         finally:
+            # Graceful: drain in-flight requests, then flush+fsync the
+            # journal inside engine.close() before the loop dies.
             await daemon.stop()
             obs.reset()
 
@@ -600,6 +636,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(_serve())
     except KeyboardInterrupt:
         print("\nstopped")
+        return 0
+    print("stopped: drained and journal flushed" if durable
+          else "stopped")
     return 0
 
 

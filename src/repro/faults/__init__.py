@@ -1,11 +1,16 @@
 """Pluggable fault injection for the cluster substrate.
 
 See :mod:`repro.faults.base` for the injector protocol,
-:mod:`repro.faults.injectors` for the concrete fault species and
-:mod:`repro.faults.plan` for composition, seeding and JSON specs.
+:mod:`repro.faults.injectors` for the concrete fault species,
+:mod:`repro.faults.plan` for composition, seeding and JSON specs, and
+:mod:`repro.faults.disk` for the filesystem fault species that exercise
+the service's write-ahead journal.
 """
 
 from repro.faults.base import FaultContext, FaultEvent, FaultInjector, FaultLog
+from repro.faults.disk import (DISK_FAULT_SPECIES, DiskFaultError,
+                               FaultyFileOps, JournalFileOps,
+                               SimulatedCrashError)
 from repro.faults.injectors import (
     INJECTOR_REGISTRY,
     ContainerCrashInjector,
@@ -36,4 +41,9 @@ __all__ = [
     "injector_from_spec",
     "load_fault_plan",
     "default_chaos_plan",
+    "DISK_FAULT_SPECIES",
+    "DiskFaultError",
+    "FaultyFileOps",
+    "JournalFileOps",
+    "SimulatedCrashError",
 ]

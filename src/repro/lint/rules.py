@@ -1,4 +1,4 @@
-"""The rushlint domain rules, RL001–RL010.
+"""The rushlint domain rules, RL001–RL010 and RL015.
 
 Each rule mechanizes one invariant that RUSH's guarantees (Theorems 1–3
 of the paper) lean on but the type system cannot express.  The catalog
@@ -30,6 +30,7 @@ __all__ = [
     "BenchmarkDeterminismRule",
     "ObsClockFreeRule",
     "SeededPoolInitializerRule",
+    "DurableWriteDisciplineRule",
 ]
 
 #: ``numpy.random`` attributes that construct *seedable* generators and
@@ -739,3 +740,78 @@ class SeededPoolInitializerRule(Rule):
                     "forks hidden global RNG state into workers; pass "
                     "a seeding initializer (see repro.core.parallel"
                     ".seed_worker)")
+
+
+@register_rule
+class DurableWriteDisciplineRule(Rule):
+    """RL015 — all service-side file writes go through the journal.
+
+    The durability contract of :mod:`repro.service.journal` ("every
+    accepted event is fsynced before it is applied; a crash can only
+    tear the final record") holds only if the journal's atomic-append
+    helper and :func:`~repro.service.journal.atomic_write_text` are the
+    *only* ways bytes reach disk under ``repro.service`` — a stray
+    ``open(path, "w")`` writes state that recovery knows nothing about
+    and that no fault species exercises.  Inside the service package
+    (``journal.py`` itself excepted) this flags ``open`` calls with a
+    writable mode, ``os.open``/``os.write``/``os.fdopen``, and
+    ``.write_text(...)``/``.write_bytes(...)`` method calls.  The check
+    is syntactic: a non-literal mode argument is given the benefit of
+    the doubt.
+    """
+
+    rule_id = "RL015"
+    name = "durable-write-discipline"
+    rationale = ("service-side writes outside the journal's fsync "
+                 "discipline silently break crash recovery")
+
+    #: The one file allowed to touch the filesystem directly.
+    _ALLOWED_FILES = frozenset({"journal.py"})
+    _OS_WRITERS = frozenset({"open", "write", "fdopen"})
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.package != "service":
+            return
+        if ctx.path.replace("\\", "/").rsplit("/", 1)[-1] \
+                in self._ALLOWED_FILES:
+            return
+        for call in _walk_calls(ctx.tree):
+            func = call.func
+            if isinstance(func, ast.Name) and func.id == "open":
+                mode = self._mode_argument(call)
+                if mode is not None and any(c in mode for c in "wax+"):
+                    yield self.finding(
+                        ctx, call,
+                        f"open(..., {mode!r}) under repro.service "
+                        "bypasses the journal's fsync discipline; "
+                        "route writes through repro.service.journal")
+            elif (isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "os"
+                    and func.attr in self._OS_WRITERS):
+                yield self.finding(
+                    ctx, call,
+                    f"os.{func.attr}(...) under repro.service bypasses "
+                    "the journal's fsync discipline; route writes "
+                    "through repro.service.journal")
+            elif (isinstance(func, ast.Attribute)
+                    and func.attr in ("write_text", "write_bytes")):
+                yield self.finding(
+                    ctx, call,
+                    f".{func.attr}(...) under repro.service bypasses "
+                    "the journal's fsync discipline; use "
+                    "repro.service.journal.atomic_write_text")
+
+    @staticmethod
+    def _mode_argument(call: ast.Call) -> Optional[str]:
+        mode: Optional[ast.expr] = None
+        if len(call.args) >= 2:
+            mode = call.args[1]
+        for kw in call.keywords:
+            if kw.arg == "mode":
+                mode = kw.value
+        if mode is None:
+            return None  # default "r": reads are fine
+        if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+            return mode.value
+        return None  # dynamic mode: benefit of the doubt

@@ -25,14 +25,19 @@ daemon stays a pure function of (config, journal).  See
 ``docs/SERVICE.md``.
 """
 
-from repro.service.client import ServiceClient, ServiceRequestError
+from repro.service.client import (ServiceClient, ServiceRequestError,
+                                  ServiceUnavailableError)
 from repro.service.clock import RealTimeClock
 from repro.service.daemon import ServiceDaemon
 from repro.service.engine import ServiceConfig, ServiceEngine
+from repro.service.journal import (JournalCorruptError, JournalWriteError,
+                                   JournalWriter, RealFileOps,
+                                   atomic_write_text, open_journal,
+                                   recover_engine)
 from repro.service.protocol import (canonical_digest, error_payload,
                                     parse_submit, records_digest,
                                     submit_payload_from_spec)
-from repro.service.smoke import run_service_smoke
+from repro.service.smoke import run_crash_smoke, run_service_smoke
 from repro.service.snapshot import (SnapshotError, load_snapshot,
                                     restore_engine, save_snapshot,
                                     take_snapshot)
@@ -40,10 +45,12 @@ from repro.service.tenants import (DEFAULT_TENANT, TenantRegistry,
                                    TenantSpec, tenants_from_dicts)
 
 __all__ = [
-    "ServiceClient", "ServiceRequestError", "RealTimeClock",
-    "ServiceDaemon", "ServiceConfig", "ServiceEngine",
+    "ServiceClient", "ServiceRequestError", "ServiceUnavailableError",
+    "RealTimeClock", "ServiceDaemon", "ServiceConfig", "ServiceEngine",
+    "JournalCorruptError", "JournalWriteError", "JournalWriter",
+    "RealFileOps", "atomic_write_text", "open_journal", "recover_engine",
     "canonical_digest", "error_payload", "parse_submit", "records_digest",
-    "submit_payload_from_spec", "run_service_smoke",
+    "submit_payload_from_spec", "run_service_smoke", "run_crash_smoke",
     "SnapshotError", "load_snapshot", "restore_engine", "save_snapshot",
     "take_snapshot", "DEFAULT_TENANT", "TenantRegistry", "TenantSpec",
     "tenants_from_dicts",

@@ -7,20 +7,33 @@ as the daemon.  One request per connection, mirroring the server's
 exactly as in-process callers branch on
 :class:`~repro.errors.ServiceError` subclasses.
 
+Transport failures — connection refused, a connection reset mid-body —
+surface as :class:`ServiceUnavailableError` carrying the attempt count,
+never a raw ``OSError``.  With ``retries > 0`` the client retries them
+under seeded exponential backoff with jitter, but only for requests it
+knows are idempotent: reads, cancels, and submits that carry an
+idempotency key (auto-generated when retries are enabled, deduplicated
+server-side, so a retry after an ambiguous crash never double-admits).
+``/tick`` is never retried — a lost response leaves it ambiguous
+whether the clock advanced.
+
 Used by the integration tests and by :mod:`repro.service.smoke` (the CI
-job that replays a scenario through the HTTP API and diffs the outcome
-digest against the simulator path).
+jobs that replay a scenario — or survive a ``kill -9`` — through the
+HTTP API and diff the outcome digest).
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import os
 from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.errors import ReproError
 
-__all__ = ["ServiceClient", "ServiceRequestError"]
+__all__ = ["ServiceClient", "ServiceRequestError", "ServiceUnavailableError"]
 
 
 class ServiceRequestError(ReproError):
@@ -32,19 +45,38 @@ class ServiceRequestError(ReproError):
         super().__init__(f"[{status} {code}] {message}")
 
 
+class ServiceUnavailableError(ReproError):
+    """The daemon could not be reached, or hung up mid-response.
+
+    Raised after every allowed attempt failed; ``attempts`` counts how
+    many were made so callers (and tests) can see the retry behaviour.
+    """
+
+    def __init__(self, message: str, *, attempts: int) -> None:
+        self.attempts = attempts
+        super().__init__(
+            f"service unavailable after {attempts} attempt"
+            f"{'s' if attempts != 1 else ''}: {message}")
+
+
 class ServiceClient:
     """Talk to one daemon at ``host:port``; all methods are coroutines."""
 
-    def __init__(self, host: str, port: int) -> None:
+    def __init__(self, host: str, port: int, *, retries: int = 0,
+                 backoff_base: float = 0.05, backoff_cap: float = 2.0,
+                 seed: int = 0) -> None:
         self.host = host
         self.port = port
+        self.retries = int(retries)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self._rng = np.random.default_rng(seed)
 
     # -- transport -------------------------------------------------------
 
-    async def request(self, method: str, path: str,
-                      payload: Optional[Any] = None
-                      ) -> Tuple[int, str, bytes]:
-        """One round trip; returns (status, content-type, raw body)."""
+    async def _request_once(self, method: str, path: str,
+                            payload: Optional[Any] = None
+                            ) -> Tuple[int, str, bytes]:
         reader, writer = await asyncio.open_connection(self.host, self.port)
         try:
             body = (json.dumps(payload).encode("utf-8")
@@ -58,8 +90,14 @@ class ServiceClient:
             writer.write(body)
             await writer.drain()
             status_line = (await reader.readline()).decode("latin-1")
+            if not status_line.strip():
+                # The daemon accepted the connection then died before
+                # responding — e.g. killed mid-request.
+                raise ConnectionResetError("empty response (connection "
+                                           "closed before the status line)")
             status = int(status_line.split(" ", 2)[1])
             content_type = ""
+            length: Optional[int] = None
             while True:
                 line = (await reader.readline()).decode("latin-1").strip()
                 if not line:
@@ -67,16 +105,52 @@ class ServiceClient:
                 key, _, value = line.partition(":")
                 if key.strip().lower() == "content-type":
                     content_type = value.strip()
+                elif key.strip().lower() == "content-length":
+                    length = int(value.strip())
             raw = await reader.read()
+            if length is not None and len(raw) < length:
+                raise ConnectionResetError(
+                    f"truncated body: got {len(raw)} of {length} bytes")
             return status, content_type, raw
         finally:
             writer.close()
-            await writer.wait_closed()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def request(self, method: str, path: str,
+                      payload: Optional[Any] = None, *,
+                      idempotent: bool = True) -> Tuple[int, str, bytes]:
+        """One logical round trip; returns (status, content-type, body).
+
+        Transport failures raise :class:`ServiceUnavailableError`; when
+        ``idempotent`` (and ``retries`` allows) they are retried first
+        under capped exponential backoff with seeded jitter.
+        """
+        attempts = self.retries + 1 if idempotent else 1
+        last: Optional[BaseException] = None
+        for attempt in range(1, attempts + 1):
+            try:
+                return await self._request_once(method, path, payload)
+            except (ConnectionError, asyncio.IncompleteReadError,
+                    OSError) as exc:
+                last = exc
+                if attempt < attempts:
+                    delay = min(self.backoff_cap,
+                                self.backoff_base * 2 ** (attempt - 1))
+                    # Jitter in [0.5, 1.0)x keeps retry storms apart
+                    # without ever exceeding the cap.
+                    await asyncio.sleep(
+                        delay * (0.5 + float(self._rng.random()) / 2))
+        raise ServiceUnavailableError(str(last), attempts=attempts) from last
 
     async def request_json(self, method: str, path: str,
-                           payload: Optional[Any] = None) -> Any:
+                           payload: Optional[Any] = None, *,
+                           idempotent: bool = True) -> Any:
         """A JSON round trip; error responses raise the typed exception."""
-        status, _ctype, raw = await self.request(method, path, payload)
+        status, _ctype, raw = await self.request(method, path, payload,
+                                                 idempotent=idempotent)
         data = json.loads(raw.decode("utf-8")) if raw else None
         if status >= 400:
             error = (data or {}).get("error", {}) if isinstance(data, dict) \
@@ -97,8 +171,24 @@ class ServiceClient:
     async def tenants(self) -> Dict[str, Any]:
         return await self.request_json("GET", "/tenants")
 
-    async def submit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        return await self.request_json("POST", "/jobs", payload)
+    async def submit(self, payload: Dict[str, Any], *,
+                     idempotency_key: Optional[str] = None
+                     ) -> Dict[str, Any]:
+        """Submit a job; safe to retry exactly when it carries a key.
+
+        With ``retries`` enabled and no caller-chosen key, one is
+        generated (``os.urandom``, not the seeded rng — two clients
+        sharing a default seed must never collide on keys) so the
+        retry loop can re-send the submit without double-admitting.
+        """
+        body = dict(payload)
+        if idempotency_key is not None:
+            body["idempotency_key"] = idempotency_key
+        elif self.retries > 0 and "idempotency_key" not in body:
+            body["idempotency_key"] = f"auto-{os.urandom(8).hex()}"
+        return await self.request_json(
+            "POST", "/jobs", body,
+            idempotent="idempotency_key" in body)
 
     async def jobs(self) -> List[Dict[str, Any]]:
         return (await self.request_json("GET", "/jobs"))["jobs"]
@@ -110,7 +200,10 @@ class ServiceClient:
         return await self.request_json("DELETE", f"/jobs/{job_id}")
 
     async def tick(self, slots: int = 1) -> Dict[str, Any]:
-        return await self.request_json("POST", "/tick", {"slots": slots})
+        # Never retried: a lost response leaves the slot advance
+        # ambiguous, and re-ticking is not idempotent.
+        return await self.request_json("POST", "/tick", {"slots": slots},
+                                       idempotent=False)
 
     async def snapshot(self) -> Dict[str, Any]:
         return await self.request_json("POST", "/snapshot")
@@ -151,4 +244,7 @@ class ServiceClient:
             return payloads
         finally:
             writer.close()
-            await writer.wait_closed()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass

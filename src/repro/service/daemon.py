@@ -82,6 +82,7 @@ class ServiceDaemon:
         self._server: Optional[asyncio.AbstractServer] = None
         self._slot_task: Optional[asyncio.Task] = None
         self._subscribers: List[asyncio.Queue] = []
+        self._inflight: set = set()  # connection-handler tasks being served
         self._closing = False
 
     # -- lifecycle -------------------------------------------------------
@@ -100,9 +101,19 @@ class ServiceDaemon:
             self._slot_task = asyncio.get_running_loop().create_task(
                 self._slot_loop())
 
-    async def stop(self) -> None:
-        """Stop ticking, close the listener, end every stream."""
+    async def stop(self, *, drain_timeout: float = 5.0) -> None:
+        """Graceful shutdown: drain, then flush everything durable.
+
+        Order matters.  The listener closes first so no new connections
+        arrive; the slot loop stops so the engine state is quiescent;
+        streams get their end-sentinel; then every in-flight request
+        handler is awaited (bounded by ``drain_timeout``) so an accepted
+        submit is fully journaled and answered before the process exits.
+        Only then does ``engine.close()`` fsync and close the journal.
+        """
         self._closing = True
+        if self._server is not None:
+            self._server.close()
         if self._slot_task is not None:
             self._slot_task.cancel()
             try:
@@ -112,8 +123,14 @@ class ServiceDaemon:
             self._slot_task = None
         for queue in list(self._subscribers):
             queue.put_nowait(None)  # sentinel: stream handlers drain out
+        pending = {task for task in self._inflight if not task.done()}
+        if pending:
+            _done, stuck = await asyncio.wait(pending, timeout=drain_timeout)
+            for task in stuck:  # a hung client must not wedge shutdown
+                task.cancel()
+            if stuck:
+                await asyncio.gather(*stuck, return_exceptions=True)
         if self._server is not None:
-            self._server.close()
             await self._server.wait_closed()
             self._server = None
         self.engine.close()
@@ -135,6 +152,10 @@ class ServiceDaemon:
 
     async def _handle(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._inflight.add(task)
+            task.add_done_callback(self._inflight.discard)
         try:
             try:
                 method, path, query, body = await self._read_request(reader)

@@ -132,10 +132,30 @@ class ServiceEngine:
             record_decisions=True)
         #: Ordered journal of every accepted external request.
         self.journal: List[Dict[str, Any]] = []
+        #: Optional write-ahead log (see :mod:`repro.service.journal`):
+        #: when attached, every submit/cancel/tick is appended and
+        #: fsynced *before* it mutates engine state.
+        self.wal: Optional[Any] = None
         self._auto_seq = 0
         self._known: Dict[str, str] = {}  # job_id -> tenant
+        self._idempotency: Dict[str, str] = {}  # idempotency key -> job_id
         self._cancelling: set = set()
         self._released: set = set()
+
+    # -- durability ------------------------------------------------------
+
+    def attach_wal(self, wal: Any) -> None:
+        """Attach a write-ahead journal writer (duck-typed: ``append``,
+        ``note_applied``, ``close``)."""
+        self.wal = wal
+
+    def _wal_append(self, entry: Mapping[str, Any]) -> None:
+        if self.wal is not None:
+            self.wal.append(entry)
+
+    def _wal_note_applied(self) -> None:
+        if self.wal is not None:
+            self.wal.note_applied(self)
 
     # -- time -----------------------------------------------------------
 
@@ -155,8 +175,10 @@ class ServiceEngine:
             raise BadRequestError(
                 f"tick slots must be a positive integer, got {slots}")
         for _ in range(slots):
+            self._wal_append({"kind": "tick", "due": self.slot})
             self.sim.step()
             self._release_finished()
+            self._wal_note_applied()
         return self.cluster_status()
 
     def _release_finished(self) -> None:
@@ -177,35 +199,62 @@ class ServiceEngine:
         request = parse_submit(payload)
         return self._admit(request)
 
-    def _admit(self, request: SubmitRequest, *,
-               journal: bool = True) -> Dict[str, Any]:
+    def _admit(self, request: SubmitRequest) -> Dict[str, Any]:
+        key = request.idempotency_key
+        if key is not None:
+            prior = self._idempotency.get(key)
+            if prior is not None:
+                # A retried submit after an ambiguous failure: the first
+                # attempt was journaled and applied, so this one must
+                # not double-admit.  Report the existing job.
+                status = self.job_status(prior)
+                status["deduplicated"] = True
+                return status
         now = self.slot
         arrival = request.arrival if request.arrival is not None else now
         if arrival < now:
             raise BadRequestError(
                 f"arrival slot {arrival} is in the past (clock at {now})")
         job_id = request.job_id
+        auto_seq: Optional[int] = None
         if job_id is None:
             tenant_hint = (request.tenant if request.tenant is not None
                            else self.registry.default_tenant)
-            self._auto_seq += 1
-            job_id = f"{tenant_hint}-{self._auto_seq}"
+            auto_seq = self._auto_seq + 1
+            job_id = f"{tenant_hint}-{auto_seq}"
         if job_id in self._known:
             raise JobStateError(f"job id {job_id!r} was already submitted")
         spec = request.build_spec(job_id, arrival)
         tenant = self.registry.admit(request.tenant, job_id)
-        self._known[job_id] = tenant
-        self.events.push(SubmitEvent(spec), due=now)
-        if journal:
-            self.journal.append({"kind": "submit", "due": now,
+        entry: Dict[str, Any] = {"kind": "submit", "due": now,
                                  "tenant": tenant,
-                                 "spec": spec_to_dict(spec)})
+                                 "spec": spec_to_dict(spec)}
+        if auto_seq is not None:
+            entry["auto_seq"] = auto_seq
+        if key is not None:
+            entry["idempotency_key"] = key
+        try:
+            # Write-ahead: the admission must be durable before any
+            # in-memory state reflects it, or a crash here would admit
+            # a job that recovery has never heard of.
+            self._wal_append(entry)
+        except Exception:
+            self.registry.release(job_id)
+            raise
+        if auto_seq is not None:
+            self._auto_seq = auto_seq
+        self._known[job_id] = tenant
+        if key is not None:
+            self._idempotency[key] = job_id
+        self.events.push(SubmitEvent(spec), due=now)
+        self.journal.append(entry)
         metrics = get_metrics()
         if metrics.active:
             metrics.counter(
                 "rush_service_jobs_submitted_total",
                 help="Jobs accepted by the service",
                 labels=("tenant",)).labels(tenant).inc()
+        self._wal_note_applied()
         return self.job_status(job_id)
 
     def cancel(self, job_id: str) -> Dict[str, Any]:
@@ -218,16 +267,18 @@ class ServiceEngine:
             raise JobStateError(
                 f"cannot cancel job {job_id!r}: already {state}")
         if state != "cancelling":
+            entry = {"kind": "cancel", "due": self.slot, "job_id": job_id}
+            self._wal_append(entry)
             self._cancelling.add(job_id)
             self.events.push(CancelEvent(job_id), due=self.slot)
-            self.journal.append({"kind": "cancel", "due": self.slot,
-                                 "job_id": job_id})
+            self.journal.append(entry)
             metrics = get_metrics()
             if metrics.active:
                 metrics.counter(
                     "rush_service_jobs_cancelled_total",
                     help="Cancellations accepted by the service",
                     labels=("tenant",)).labels(tenant).inc()
+            self._wal_note_applied()
         return self.job_status(job_id)
 
     def replay_entry(self, entry: Mapping[str, Any]) -> None:
@@ -243,6 +294,12 @@ class ServiceEngine:
             spec = spec_from_dict(entry["spec"])
             tenant = self.registry.admit(entry.get("tenant"), spec.job_id)
             self._known[spec.job_id] = tenant
+            auto_seq = entry.get("auto_seq")
+            if auto_seq is not None:
+                self._auto_seq = max(self._auto_seq, int(auto_seq))
+            key = entry.get("idempotency_key")
+            if key is not None:
+                self._idempotency[str(key)] = spec.job_id
             self.events.push(SubmitEvent(spec), due=due)
         elif kind == "cancel":
             job_id = str(entry["job_id"])
@@ -387,6 +444,9 @@ class ServiceEngine:
     # -- lifecycle -------------------------------------------------------
 
     def close(self) -> None:
+        if self.wal is not None:
+            self.wal.close()  # final flush+fsync before the engine goes
+            self.wal = None
         closer = getattr(self.scheduler, "close", None)
         if closer is not None:
             closer()

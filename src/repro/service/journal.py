@@ -1,0 +1,607 @@
+"""The durable write-ahead journal behind ``rush serve --journal-dir``.
+
+PR 8's snapshot machinery made the daemon restart-safe *if someone
+snapshotted*; this module makes it crash-safe by construction.  Every
+externally-visible event — ``submit``, ``cancel``, each ``tick`` slot —
+is framed, appended and fsynced to a segment file *before* the engine
+applies it, so an accepted request is durable by the time its HTTP
+response leaves the socket.  Recovery is the same replay the snapshot
+path already proves correct: the engine's behaviour is a pure function
+of (config, journal), so scanning the log and re-applying it through a
+fresh :class:`~repro.service.engine.ServiceEngine` re-derives the exact
+pre-crash decision stream — and periodic checkpoint records carrying
+the decision-stream digest let recovery *verify* that instead of
+assuming it.
+
+On-disk layout (one directory)::
+
+    anchor.json          # a rush-service-snapshot + "journal_seq": N
+    wal-00000001.log     # segment: 8-byte magic, then framed records
+    wal-00000042.log     # later segment, named by its first seq
+
+Record framing: ``<u32 payload-length> <u32 crc32(payload)>`` followed
+by the canonical-JSON payload ``{"seq": n, ...event}``.  Appends go
+through exactly one helper (:meth:`JournalWriter.append` — lint rule
+RL015 pins that nothing else under ``repro.service`` opens files for
+writing), and each append is a single ``write`` + ``fsync``, so a crash
+can only ever tear the final record.  Recovery truncates a torn tail
+(metered as ``rush_journal_recovery_truncated_bytes``); any *other*
+framing damage — a CRC mismatch, a sequence gap, a checkpoint whose
+digest the replay cannot reproduce — raises
+:class:`JournalCorruptError` naming the file and byte offset, because
+resuming from a silently wrong log is worse than not resuming.
+
+Compaction is snapshot-anchored: when a segment fills, the writer
+rotates, writes a fresh anchor (config + in-memory journal + slot +
+``journal_seq``) via an atomic write-then-rename, and deletes the
+segments the anchor now covers.  Recovery restores the anchor through
+:func:`repro.service.snapshot.restore_engine` and replays only the
+records with ``seq`` greater than the anchor's.
+
+All file I/O goes through an injectable
+:class:`~repro.faults.disk.JournalFileOps` layer so the disk-fault
+species in :mod:`repro.faults.disk` (torn write, partial fsync,
+``ENOSPC``, duplicated tail) exercise this exact code with no
+monkeypatching.  Duplicated tail records — a crashed retry that landed
+twice — are deduplicated by sequence number during replay.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import IO, Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.errors import ConfigurationError, ServiceError
+from repro.obs import get_metrics, get_tracer
+from repro.service.engine import ServiceConfig, ServiceEngine
+from repro.service.snapshot import load_snapshot, restore_engine, take_snapshot
+
+if False:  # pragma: no cover - typing only, avoids a runtime cycle
+    from repro.core.clock import Clock
+
+__all__ = [
+    "ANCHOR_NAME",
+    "JournalCorruptError",
+    "JournalWriteError",
+    "JournalWriter",
+    "RealFileOps",
+    "SEGMENT_MAGIC",
+    "atomic_write_text",
+    "open_journal",
+    "recover_engine",
+]
+
+SEGMENT_MAGIC = b"RUSHWAL1"
+SEGMENT_PREFIX = "wal-"
+SEGMENT_SUFFIX = ".log"
+ANCHOR_NAME = "anchor.json"
+
+#: Frame header: payload length and crc32(payload), little-endian u32s.
+_HEADER = struct.Struct("<II")
+
+#: Rotate to a fresh segment once the current one exceeds this size.
+DEFAULT_SEGMENT_MAX_BYTES = 256 * 1024
+
+#: Append a decision-digest checkpoint record every N records.
+DEFAULT_CHECKPOINT_EVERY = 32
+
+
+class JournalWriteError(ServiceError):
+    """An append could not be made durable (disk full, I/O error).
+
+    Raised *before* the engine applies the event, so the in-memory and
+    on-disk states stay consistent and the client may safely retry —
+    with an idempotency key, even after an ambiguous failure.
+    """
+
+    code = "journal-unavailable"
+    status = 503
+
+
+class JournalCorruptError(ServiceError):
+    """The journal cannot be trusted; recovery refuses to proceed.
+
+    Always names the segment ``path`` and byte ``offset`` of the first
+    unusable record — a torn *tail* is handled by truncation instead,
+    so reaching this error means mid-log damage or replay divergence,
+    and the operator must intervene rather than resume silently.
+    """
+
+    code = "journal-corrupt"
+    status = 500
+
+    def __init__(self, message: str, *, path: Union[str, Path, None] = None,
+                 offset: Optional[int] = None) -> None:
+        self.path = str(path) if path is not None else None
+        self.offset = offset
+        where = ""
+        if self.path is not None:
+            where = f" [{self.path}"
+            where += f" @ byte {offset}]" if offset is not None else "]"
+        super().__init__(message + where)
+
+
+class RealFileOps:
+    """The production file-op layer: plain ``os``-level durability.
+
+    This class and :meth:`JournalWriter.append` are the only sanctioned
+    write paths under ``repro.service`` (lint rule RL015); everything
+    else — snapshots included — routes through here so the fsync
+    discipline and the disk-fault injection seam cover every byte the
+    service persists.  Satisfies
+    :class:`repro.faults.disk.JournalFileOps`.
+    """
+
+    def open_append(self, path: str) -> IO[bytes]:
+        return open(path, "ab")
+
+    def write(self, fobj: IO[bytes], data: bytes) -> int:
+        return fobj.write(data)
+
+    def fsync(self, fobj: IO[bytes]) -> None:
+        fobj.flush()
+        os.fsync(fobj.fileno())
+
+    def close(self, fobj: IO[bytes]) -> None:
+        fobj.close()
+
+    def write_bytes(self, path: str, data: bytes) -> None:
+        with open(path, "wb") as fobj:
+            fobj.write(data)
+            fobj.flush()
+            os.fsync(fobj.fileno())
+
+    def replace(self, src: str, dst: str) -> None:
+        os.replace(src, dst)
+
+    def remove(self, path: str) -> None:
+        os.remove(path)
+
+    def truncate(self, path: str, size: int) -> None:
+        os.truncate(path, size)
+
+    def fsync_dir(self, path: str) -> None:
+        """Persist directory entries (new/renamed files); best-effort."""
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:  # pragma: no cover - non-POSIX directory handles
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - fs without dir fsync
+            pass
+        finally:
+            os.close(fd)
+
+
+def atomic_write_text(path: Union[str, Path], text: str, *,
+                      file_ops: Optional[Any] = None) -> None:
+    """Write-then-rename with an fsync on both file and directory.
+
+    The durable variant of the snapshot module's old tmp+rename: after
+    this returns, a crash leaves either the old content or the new —
+    never a torn mixture.  All service-side whole-file writes (snapshot
+    persistence, the journal anchor) go through here.
+    """
+    ops = file_ops if file_ops is not None else RealFileOps()
+    target = Path(path)
+    tmp = target.with_suffix(target.suffix + ".tmp")
+    ops.write_bytes(str(tmp), text.encode("utf-8"))
+    ops.replace(str(tmp), str(target))
+    ops.fsync_dir(str(target.parent))
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+def _encode_record(seq: int, entry: Mapping[str, Any]) -> bytes:
+    body = dict(entry)
+    body["seq"] = int(seq)
+    payload = json.dumps(body, sort_keys=True,
+                         separators=(",", ":")).encode("utf-8")
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def _segment_paths(directory: Path) -> List[Path]:
+    names = [n for n in os.listdir(directory)
+             if n.startswith(SEGMENT_PREFIX) and n.endswith(SEGMENT_SUFFIX)]
+    return [directory / n for n in sorted(names)]
+
+
+def _segment_name(first_seq: int) -> str:
+    return f"{SEGMENT_PREFIX}{first_seq:08d}{SEGMENT_SUFFIX}"
+
+
+def _scan_segments(directory: Path, ops: Any
+                   ) -> Tuple[List[Tuple[str, int, Dict[str, Any]]], int]:
+    """Parse every record in every segment, in order.
+
+    Returns ``(records, truncated_bytes)`` where each record is
+    ``(path, offset, payload_dict)``.  A torn frame at the physical
+    tail of the *final* segment is truncated away (that is the one
+    place a single-write-plus-fsync discipline can tear); torn or
+    corrupt frames anywhere else raise :class:`JournalCorruptError`
+    with the byte offset.
+    """
+    records: List[Tuple[str, int, Dict[str, Any]]] = []
+    truncated = 0
+    paths = _segment_paths(directory)
+    for index, path in enumerate(paths):
+        is_last = index == len(paths) - 1
+        data = path.read_bytes()
+        if len(data) < len(SEGMENT_MAGIC):
+            if is_last and SEGMENT_MAGIC.startswith(data):
+                truncated += len(data)
+                ops.truncate(str(path), 0)
+                continue
+            raise JournalCorruptError(
+                "segment header is damaged", path=path, offset=0)
+        if data[:len(SEGMENT_MAGIC)] != SEGMENT_MAGIC:
+            raise JournalCorruptError(
+                f"bad segment magic {data[:8]!r}", path=path, offset=0)
+        offset = len(SEGMENT_MAGIC)
+        while offset < len(data):
+            frame_end = offset + _HEADER.size
+            if frame_end > len(data):
+                offset = _truncate_tail(path, data, offset, is_last, ops)
+                truncated += len(data) - offset
+                break
+            length, crc = _HEADER.unpack_from(data, offset)
+            frame_end += length
+            if frame_end > len(data):
+                offset = _truncate_tail(path, data, offset, is_last, ops)
+                truncated += len(data) - offset
+                break
+            payload = data[offset + _HEADER.size:frame_end]
+            if zlib.crc32(payload) != crc:
+                raise JournalCorruptError(
+                    "record CRC mismatch", path=path, offset=offset)
+            try:
+                record = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                raise JournalCorruptError(
+                    "record payload is not valid JSON despite a valid "
+                    "CRC", path=path, offset=offset) from None
+            if not isinstance(record, dict) or "seq" not in record:
+                raise JournalCorruptError(
+                    "record payload is missing its sequence number",
+                    path=path, offset=offset)
+            records.append((str(path), offset, record))
+            offset = frame_end
+    return records, truncated
+
+
+def _truncate_tail(path: Path, data: bytes, offset: int, is_last: bool,
+                   ops: Any) -> int:
+    if not is_last:
+        raise JournalCorruptError(
+            "torn record in a non-final segment", path=path, offset=offset)
+    ops.truncate(str(path), offset)
+    return offset
+
+
+# ---------------------------------------------------------------------------
+# Writer
+# ---------------------------------------------------------------------------
+
+class JournalWriter:
+    """Appends framed records to segment files, one fsync per append."""
+
+    def __init__(self, directory: Union[str, Path], *,
+                 file_ops: Optional[Any] = None,
+                 segment_max_bytes: int = DEFAULT_SEGMENT_MAX_BYTES,
+                 checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+                 auto_compact: bool = True,
+                 start_seq: int = 0) -> None:
+        if segment_max_bytes < 1024:
+            raise ConfigurationError(
+                f"segment_max_bytes must be >= 1024, got {segment_max_bytes}")
+        if checkpoint_every < 1:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}")
+        self.directory = Path(directory)
+        self.ops = file_ops if file_ops is not None else RealFileOps()
+        self.segment_max_bytes = int(segment_max_bytes)
+        self.checkpoint_every = int(checkpoint_every)
+        self.auto_compact = bool(auto_compact)
+        self._seq = int(start_seq)
+        self._since_checkpoint = 0
+        self._closed = False
+        self._segment: Optional[IO[bytes]] = None
+        self._segment_path: Optional[Path] = None
+        self._segment_size = 0
+        self._open_segment()
+
+    @property
+    def seq(self) -> int:
+        """The sequence number of the last durable record."""
+        return self._seq
+
+    @property
+    def segment_path(self) -> Optional[Path]:
+        return self._segment_path
+
+    def _open_segment(self) -> None:
+        path = self.directory / _segment_name(self._seq + 1)
+        existing = path.stat().st_size if path.exists() else 0
+        self._segment = self.ops.open_append(str(path))
+        self._segment_path = path
+        if existing == 0:
+            self.ops.write(self._segment, SEGMENT_MAGIC)
+            self.ops.fsync(self._segment)
+            existing = len(SEGMENT_MAGIC)
+        self._segment_size = existing
+
+    def append(self, entry: Mapping[str, Any]) -> int:
+        """THE atomic append: frame, write once, fsync, then return.
+
+        Every byte the journal persists flows through this method (and
+        the anchor's :func:`atomic_write_text`) — the write discipline
+        lint rule RL015 enforces across ``repro.service``.  An
+        ``OSError`` (``ENOSPC``, EIO) surfaces as the retryable
+        :class:`JournalWriteError` *before* the event is applied, so a
+        failed append never leaves a half-admitted job.
+        """
+        if self._closed or self._segment is None:
+            raise JournalWriteError("journal writer is closed")
+        frame = _encode_record(self._seq + 1, entry)
+        try:
+            self.ops.write(self._segment, frame)
+            self.ops.fsync(self._segment)
+        except OSError as exc:
+            raise JournalWriteError(
+                f"journal append failed: {exc}") from exc
+        self._seq += 1
+        self._segment_size += len(frame)
+        self._since_checkpoint += 1
+        metrics = get_metrics()
+        if metrics.active:
+            metrics.counter(
+                "rush_journal_appends_total",
+                help="Records appended to the write-ahead journal",
+                labels=("kind",)).labels(str(entry.get("kind", "?"))).inc()
+            metrics.counter(
+                "rush_journal_fsyncs_total",
+                help="fsync calls made durable by the journal").inc()
+        return self._seq
+
+    def note_applied(self, engine: ServiceEngine) -> None:
+        """Housekeeping hook the engine calls after applying an event.
+
+        Runs only at a consistent point (everything appended has been
+        applied), which is what lets the checkpoint digest describe the
+        log prefix exactly and lets compaction anchor on live state.
+        """
+        if self._since_checkpoint >= self.checkpoint_every:
+            self.append({"kind": "checkpoint", "slot": engine.slot,
+                         "decisions_digest": engine.decisions_digest()})
+            self._since_checkpoint = 0
+        if self._segment_size >= self.segment_max_bytes:
+            self.rotate()
+            if self.auto_compact:
+                self.compact(engine)
+
+    def rotate(self) -> None:
+        """Close the current segment and start a fresh one."""
+        if self._segment is not None:
+            self.ops.close(self._segment)
+        self._open_segment()
+        self.ops.fsync_dir(str(self.directory))
+
+    def compact(self, engine: ServiceEngine) -> None:
+        """Anchor the journal at the engine's state; drop covered segments.
+
+        The anchor is a standard service snapshot plus ``journal_seq``,
+        written atomically; every segment other than the one currently
+        being written holds only records at or below that seq, so they
+        are deleted.  A crash anywhere in this sequence is safe: before
+        the rename the old anchor still covers everything, and after it
+        leftover segments are skipped by the seq filter during replay.
+        """
+        snapshot = take_snapshot(engine)
+        snapshot["journal_seq"] = self._seq
+        blob = json.dumps(snapshot, sort_keys=True, indent=2) + "\n"
+        atomic_write_text(self.directory / ANCHOR_NAME, blob,
+                          file_ops=self.ops)
+        for path in _segment_paths(self.directory):
+            if path != self._segment_path:
+                self.ops.remove(str(path))
+        self.ops.fsync_dir(str(self.directory))
+
+    def close(self) -> None:
+        """Flush and close; idempotent (the daemon closes on shutdown)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._segment is not None:
+            try:
+                self.ops.fsync(self._segment)
+            finally:
+                self.ops.close(self._segment)
+            self._segment = None
+
+
+# ---------------------------------------------------------------------------
+# Recovery
+# ---------------------------------------------------------------------------
+
+def recover_engine(directory: Union[str, Path], *,
+                   clock: Optional["Clock"] = None,
+                   file_ops: Optional[Any] = None
+                   ) -> Tuple[ServiceEngine, Dict[str, Any]]:
+    """Rebuild an engine from a journal directory, digest-verified.
+
+    Restores the anchor snapshot (itself digest-verified by
+    :func:`~repro.service.snapshot.restore_engine`), then replays every
+    WAL record past the anchor's ``journal_seq`` in sequence order:
+    ``tick`` advances the clock, ``submit``/``cancel`` re-enter through
+    the same replay path snapshots use, and each ``checkpoint`` record
+    must match the rebuilt decision digest exactly.  Returns the engine
+    plus recovery stats (``last_seq``, ``applied``, ``deduped``,
+    ``truncated_bytes``, ``segments``, ``checkpoints``).
+    """
+    dirpath = Path(directory)
+    ops = file_ops if file_ops is not None else RealFileOps()
+    tracer = get_tracer()
+    with tracer.span("journal.recover", directory=str(dirpath)) as span:
+        records, truncated = _scan_segments(dirpath, ops)
+        anchor_path = dirpath / ANCHOR_NAME
+        if not anchor_path.exists():
+            if records:
+                raise JournalCorruptError(
+                    "journal has records but no anchor snapshot",
+                    path=records[0][0], offset=records[0][1])
+            raise JournalCorruptError(
+                f"no journal found in {dirpath}", path=anchor_path)
+        anchor = load_snapshot(anchor_path)
+        anchor_seq = int(anchor.get("journal_seq", 0))
+        engine = restore_engine(anchor, clock=clock, verify=True)
+
+        applied = deduped = skipped = checkpoints = 0
+        prev_seq = anchor_seq
+        prev_record: Optional[Dict[str, Any]] = None
+        for path, offset, record in records:
+            seq = int(record["seq"])
+            if seq <= anchor_seq:
+                skipped += 1  # compaction crashed before segment removal
+                continue
+            if seq == prev_seq and prev_record is not None:
+                if record == prev_record:
+                    deduped += 1  # a retried append that landed twice
+                    continue
+                raise JournalCorruptError(
+                    f"conflicting duplicate of record seq {seq}",
+                    path=path, offset=offset)
+            if seq != prev_seq + 1:
+                raise JournalCorruptError(
+                    f"sequence gap: expected seq {prev_seq + 1}, "
+                    f"found {seq}", path=path, offset=offset)
+            _apply_record(engine, record, path, offset)
+            if record.get("kind") == "checkpoint":
+                checkpoints += 1
+            prev_seq = seq
+            prev_record = record
+            applied += 1
+
+        metrics = get_metrics()
+        if metrics.active and truncated:
+            metrics.counter(
+                "rush_journal_recovery_truncated_bytes",
+                help="Bytes of torn tail records discarded during "
+                     "journal recovery").inc(truncated)
+        stats = {
+            "last_seq": prev_seq,
+            "applied": applied,
+            "deduped": deduped,
+            "skipped": skipped,
+            "checkpoints": checkpoints,
+            "truncated_bytes": truncated,
+            "segments": len(_segment_paths(dirpath)),
+            "slot": engine.slot,
+        }
+        span.note(**stats)
+    return engine, stats
+
+
+def _apply_record(engine: ServiceEngine, record: Mapping[str, Any],
+                  path: str, offset: int) -> None:
+    kind = record.get("kind")
+    if kind == "tick":
+        engine.tick()
+        return
+    if kind == "checkpoint":
+        slot = record.get("slot")
+        digest = record.get("decisions_digest")
+        if slot != engine.slot or digest != engine.decisions_digest():
+            raise JournalCorruptError(
+                "checkpoint mismatch: replay diverged from the "
+                "journaled decision stream", path=path, offset=offset)
+        return
+    if kind in ("submit", "cancel"):
+        try:
+            due = int(record["due"])
+        except (KeyError, TypeError, ValueError):
+            raise JournalCorruptError(
+                f"{kind} record without a due slot",
+                path=path, offset=offset) from None
+        if due != engine.slot:
+            raise JournalCorruptError(
+                f"{kind} record due at slot {due} replayed at slot "
+                f"{engine.slot}: a tick record is missing",
+                path=path, offset=offset)
+        entry = {k: v for k, v in record.items() if k != "seq"}
+        try:
+            engine.replay_entry(entry)
+        except ServiceError as exc:
+            raise JournalCorruptError(
+                f"journaled {kind} no longer replays: {exc}",
+                path=path, offset=offset) from exc
+        return
+    raise JournalCorruptError(
+        f"unknown record kind {kind!r}", path=path, offset=offset)
+
+
+def open_journal(directory: Union[str, Path],
+                 config: Optional[ServiceConfig] = None, *,
+                 clock: Optional["Clock"] = None,
+                 file_ops: Optional[Any] = None,
+                 segment_max_bytes: int = DEFAULT_SEGMENT_MAX_BYTES,
+                 checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+                 auto_compact: bool = True
+                 ) -> Tuple[ServiceEngine, JournalWriter]:
+    """Open (or create) a journal directory and return (engine, writer).
+
+    An existing journal is recovered — the given ``config`` must then
+    match the journaled one, because replaying under different capacity
+    or policy would silently re-derive different decisions.  A fresh
+    directory needs a ``config`` and is initialized with an anchor at
+    seq 0.  The returned engine has the writer attached: every
+    subsequent submit/cancel/tick is appended and fsynced before it is
+    applied.
+    """
+    dirpath = Path(directory)
+    os.makedirs(dirpath, exist_ok=True)
+    ops = file_ops if file_ops is not None else RealFileOps()
+
+    has_anchor = (dirpath / ANCHOR_NAME).exists()
+    if not has_anchor:
+        # A crash during first-time init can leave record-less segments
+        # (magic only, or a torn first record): re-initialize.  Any
+        # *record* without an anchor is real data loss — refuse.
+        records, _ = _scan_segments(dirpath, ops)
+        if records:
+            raise JournalCorruptError(
+                "journal has records but no anchor snapshot",
+                path=records[0][0], offset=records[0][1])
+
+    stats: Dict[str, Any] = {}
+    if has_anchor:
+        engine, stats = recover_engine(dirpath, clock=clock, file_ops=ops)
+        if config is not None \
+                and engine.config.to_dict() != config.to_dict():
+            raise ConfigurationError(
+                f"journal at {dirpath} was created under a different "
+                "service config; restart with the original flags or "
+                "point --journal-dir at a fresh directory")
+        start_seq = int(stats["last_seq"])
+    else:
+        if config is None:
+            raise ConfigurationError(
+                f"no journal at {dirpath} and no service config given "
+                "to create one")
+        engine = ServiceEngine(config, clock=clock)
+        start_seq = 0
+
+    writer = JournalWriter(
+        dirpath, file_ops=ops, segment_max_bytes=segment_max_bytes,
+        checkpoint_every=checkpoint_every, auto_compact=auto_compact,
+        start_seq=start_seq)
+    if not has_anchor:
+        writer.compact(engine)  # the seq-0 anchor a fresh journal starts from
+    engine.attach_wal(writer)
+    return engine, writer

@@ -38,7 +38,7 @@ SENSITIVITIES = ("critical", "sensitive", "insensitive")
 _SUBMIT_FIELDS = frozenset({
     "tenant", "job_id", "arrival", "task_durations", "utility", "priority",
     "budget", "benchmark_runtime", "sensitivity", "template",
-    "prior_runtime", "failure_prob",
+    "prior_runtime", "failure_prob", "idempotency_key",
 })
 
 
@@ -58,6 +58,9 @@ class SubmitRequest:
     template: str
     prior_runtime: Optional[float]
     failure_prob: float
+    #: Client-chosen retry token: two submits carrying the same key are
+    #: the same logical job, and the engine admits only the first.
+    idempotency_key: Optional[str] = None
 
     def build_spec(self, job_id: str, arrival: int) -> JobSpec:
         """Materialize the immutable spec at its assigned id and slot."""
@@ -155,6 +158,10 @@ def parse_submit(payload: object) -> SubmitRequest:
                      if prior is not None else None)
     _require(prior_runtime is None or prior_runtime > 0,
              "field 'prior_runtime' must be positive")
+    idempotency_key = payload.get("idempotency_key")
+    _require(idempotency_key is None
+             or (isinstance(idempotency_key, str) and idempotency_key),
+             "field 'idempotency_key' must be a non-empty string")
 
     return SubmitRequest(
         tenant=tenant, job_id=job_id, arrival=arrival,
@@ -164,7 +171,8 @@ def parse_submit(payload: object) -> SubmitRequest:
         budget=budget,
         benchmark_runtime=_opt_float(payload, "benchmark_runtime", math.nan),
         sensitivity=str(sensitivity), template=template,
-        prior_runtime=prior_runtime, failure_prob=failure_prob)
+        prior_runtime=prior_runtime, failure_prob=failure_prob,
+        idempotency_key=idempotency_key)
 
 
 def submit_payload_from_spec(spec: JobSpec,

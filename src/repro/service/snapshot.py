@@ -120,12 +120,16 @@ def restore_engine(snapshot: Mapping[str, Any], *,
 
 
 def save_snapshot(engine: ServiceEngine, path: Union[str, Path]) -> None:
-    """Write a snapshot atomically (write-then-rename) to ``path``."""
-    path = Path(path)
+    """Write a snapshot atomically and durably to ``path``.
+
+    Routed through the journal's write-then-rename-then-fsync helper —
+    the single sanctioned write path under ``repro.service`` (RL015).
+    """
+    # Imported lazily: journal.py imports this module at the top level.
+    from repro.service.journal import atomic_write_text
+
     blob = json.dumps(take_snapshot(engine), sort_keys=True, indent=2)
-    tmp = path.with_suffix(path.suffix + ".tmp")
-    tmp.write_text(blob + "\n", encoding="utf-8")
-    tmp.replace(path)
+    atomic_write_text(Path(path), blob + "\n")
 
 
 def load_snapshot(path: Union[str, Path]) -> Dict[str, Any]:

@@ -1,0 +1,24 @@
+"""RL015 negative fixture: reads and journal-routed writes are fine."""
+
+import json
+
+
+def load_state(path):
+    with open(path, encoding="utf-8") as handle:  # default mode: read
+        return json.load(handle)
+
+
+def load_binary(path):
+    with open(path, "rb") as handle:  # explicit read mode
+        return handle.read()
+
+
+def open_dynamic(path, mode):
+    return open(path, mode)  # non-literal mode: benefit of the doubt
+
+
+def persist(engine, path):
+    # The sanctioned path: write-then-rename-then-fsync via the journal.
+    from repro.service.journal import atomic_write_text
+
+    atomic_write_text(path, json.dumps({"slot": engine.slot}))

@@ -1,0 +1,34 @@
+"""RL015 positive fixture: service-side writes outside the journal.
+
+Treated as a ``repro.service`` file (package_override); every write
+path below bypasses the journal's fsync discipline and must fire.
+"""
+
+import os
+from pathlib import Path
+
+
+def persist_state(path):
+    with open(path, "w", encoding="utf-8") as handle:  # finding 1
+        handle.write("{}")
+
+
+def append_log(path, line):
+    with open(path, mode="a") as handle:  # finding 2
+        handle.write(line)
+
+
+def raw_write(fd, data):
+    os.write(fd, data)  # finding 3
+
+
+def open_raw(path):
+    return os.open(path, os.O_WRONLY)  # finding 4
+
+
+def dump_text(path, text):
+    Path(path).write_text(text)  # finding 5
+
+
+def dump_bytes(path, blob):
+    Path(path).write_bytes(blob)  # finding 6

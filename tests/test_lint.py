@@ -38,6 +38,7 @@ RULE_CASES = {
     "RL008": (LintConfig(benchmark_override=True), 3),
     "RL009": (LintConfig(package_override="obs"), 2),
     "RL010": (LintConfig(package_override="core"), 2),
+    "RL015": (LintConfig(package_override="service"), 6),
 }
 
 
@@ -53,11 +54,11 @@ def _rule_findings(rule_id, kind):
 # ---------------------------------------------------------------------------
 
 #: Project-wide flow rules (RL011-RL014); their fixture-driven tests
-#: live in tests/test_lint_flow.py, but the registry owns all fourteen.
+#: live in tests/test_lint_flow.py, but the registry owns all fifteen.
 FLOW_RULE_IDS = ("RL011", "RL012", "RL013", "RL014")
 
 
-def test_registry_ships_the_fourteen_domain_rules():
+def test_registry_ships_the_fifteen_domain_rules():
     assert sorted(RULE_REGISTRY) == sorted(
         list(RULE_CASES) + list(FLOW_RULE_IDS))
     for rule_id, cls in RULE_REGISTRY.items():

@@ -1,0 +1,243 @@
+"""Durability battery: graceful shutdown, retry-safe clients, crash smoke.
+
+The journal's crash-point sweeps live in ``tests/test_journal.py``; this
+file covers the operational surface around it — the real ``rush serve``
+subprocess under SIGTERM, the HTTP idempotency contract through a live
+daemon, and the client's transport-failure hardening (connection
+refused, mid-body EOF, the never-retry rule for ``/tick``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import socket
+from contextlib import asynccontextmanager
+
+import pytest
+
+from repro.service import (ServiceClient, ServiceConfig, ServiceDaemon,
+                           ServiceEngine, ServiceUnavailableError,
+                           open_journal)
+from repro.service.smoke import (_crash_payload, _spawn_server,
+                                 _wait_for_banner, run_crash_smoke)
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+
+def _config(**kw) -> ServiceConfig:
+    base = dict(capacity=3, policy="fifo", seed=0)
+    base.update(kw)
+    return ServiceConfig(**base)
+
+
+def _free_port() -> int:
+    """A port that was just free — used to provoke connection refused."""
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+# ---------------------------------------------------------------------------
+# Satellite 1: SIGTERM drains and flushes, exercised on a real subprocess.
+# ---------------------------------------------------------------------------
+
+
+def test_sigterm_drains_flushes_and_recovers(tmp_path):
+    journal_dir = str(tmp_path / "wal")
+    proc = _spawn_server(journal_dir)
+    try:
+        port = _wait_for_banner(proc)
+
+        async def submit_some():
+            client = ServiceClient("127.0.0.1", port, retries=2)
+            ids = []
+            for index in range(3):
+                status = await client.submit(
+                    _crash_payload(index), idempotency_key=f"sig-{index}")
+                ids.append(str(status["job_id"]))
+            await client.tick(2)
+            return ids
+
+        job_ids = asyncio.run(submit_some())
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=30)
+    except BaseException:
+        proc.kill()
+        proc.wait(timeout=30)
+        raise
+
+    assert proc.returncode == 0, out
+    assert "stopped: drained and journal flushed" in out
+
+    # Everything acked before SIGTERM survives a cold restart.
+    engine, writer = open_journal(journal_dir)
+    try:
+        recovered = {str(job["job_id"]) for job in engine.list_jobs()}
+        assert set(job_ids) <= recovered
+        assert engine.slot == 2
+    finally:
+        engine.close()
+
+
+# ---------------------------------------------------------------------------
+# Satellite 2: client hardening — typed unavailability, retry discipline.
+# ---------------------------------------------------------------------------
+
+
+def test_connection_refused_raises_typed_error_with_attempts():
+    async def scenario():
+        client = ServiceClient("127.0.0.1", _free_port(), retries=2,
+                               backoff_base=0.001)
+        with pytest.raises(ServiceUnavailableError) as err:
+            await client.healthz()
+        return err.value
+
+    error = asyncio.run(scenario())
+    assert error.attempts == 3  # retries + 1
+    assert "3 attempts" in str(error)
+
+
+def test_tick_is_never_retried():
+    async def scenario():
+        client = ServiceClient("127.0.0.1", _free_port(), retries=5,
+                               backoff_base=0.001)
+        with pytest.raises(ServiceUnavailableError) as err:
+            await client.tick(1)
+        return err.value
+
+    assert asyncio.run(scenario()).attempts == 1
+
+
+def test_mid_body_eof_is_retried_until_a_full_response():
+    """First response dies mid-body; the keyed retry gets the real one."""
+    hits = {"count": 0}
+    body = b'{"ok": true}'
+
+    async def flaky(reader: asyncio.StreamReader,
+                    writer: asyncio.StreamWriter) -> None:
+        await reader.readuntil(b"\r\n\r\n")
+        hits["count"] += 1
+        if hits["count"] == 1:
+            # Advertise the full body, send half, hang up.
+            writer.write(b"HTTP/1.1 200 OK\r\nContent-Type: application/json"
+                         b"\r\nContent-Length: %d\r\n\r\n" % len(body))
+            writer.write(body[: len(body) // 2])
+        else:
+            writer.write(b"HTTP/1.1 200 OK\r\nContent-Type: application/json"
+                         b"\r\nContent-Length: %d\r\n\r\n" % len(body) + body)
+        await writer.drain()
+        writer.close()
+
+    async def scenario():
+        server = await asyncio.start_server(flaky, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        try:
+            client = ServiceClient("127.0.0.1", port, retries=2,
+                                   backoff_base=0.001)
+            return await client.request_json("GET", "/healthz")
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    assert asyncio.run(scenario()) == {"ok": True}
+    assert hits["count"] == 2  # one truncated attempt + one clean retry
+
+
+def test_mid_body_eof_without_retries_is_typed():
+    async def dead(reader: asyncio.StreamReader,
+                   writer: asyncio.StreamWriter) -> None:
+        await reader.readuntil(b"\r\n\r\n")
+        writer.write(b"HTTP/1.1 200 OK\r\nContent-Length: 99\r\n\r\n{")
+        await writer.drain()
+        writer.close()
+
+    async def scenario():
+        server = await asyncio.start_server(dead, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        try:
+            client = ServiceClient("127.0.0.1", port)
+            with pytest.raises(ServiceUnavailableError) as err:
+                await client.healthz()
+            return err.value
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    error = asyncio.run(scenario())
+    assert error.attempts == 1
+    assert "truncated body" in str(error)
+
+
+# ---------------------------------------------------------------------------
+# Idempotency keys over the wire: dedup through a live daemon.
+# ---------------------------------------------------------------------------
+
+
+@asynccontextmanager
+async def serving(config=None):
+    engine = ServiceEngine(config or _config())
+    daemon = ServiceDaemon(engine)
+    await daemon.start()
+    try:
+        yield ServiceClient("127.0.0.1", daemon.port)
+    finally:
+        await daemon.stop()
+
+
+def test_http_resubmit_with_same_key_deduplicates():
+    async def scenario():
+        async with serving() as client:
+            first = await client.submit(_crash_payload(0),
+                                        idempotency_key="dup-1")
+            again = await client.submit(_crash_payload(0),
+                                        idempotency_key="dup-1")
+            jobs = await client.jobs()
+            return first, again, jobs
+
+    first, again, jobs = asyncio.run(scenario())
+    assert not first.get("deduplicated")
+    assert again["deduplicated"] is True
+    assert again["job_id"] == first["job_id"]
+    assert len(jobs) == 1
+
+
+def test_auto_keys_are_distinct_across_submits():
+    """A retries-enabled client must never dedup two *different* submits."""
+
+    async def scenario():
+        async with serving() as raw:
+            client = ServiceClient(raw.host, raw.port, retries=2)
+            one = await client.submit(_crash_payload(0))
+            two = await client.submit(_crash_payload(1))
+            return one, two, await client.jobs()
+
+    one, two, jobs = asyncio.run(scenario())
+    assert one["job_id"] != two["job_id"]
+    assert len(jobs) == 2
+
+
+def test_blank_idempotency_key_is_rejected():
+    async def scenario():
+        from repro.service import ServiceRequestError
+
+        async with serving() as client:
+            with pytest.raises(ServiceRequestError) as err:
+                await client.submit(_crash_payload(0), idempotency_key="")
+            return err.value
+
+    error = asyncio.run(scenario())
+    assert error.status == 400
+
+
+# ---------------------------------------------------------------------------
+# Satellite 5 (in-repo half): the full crash-smoke battery.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.slow
+def test_crash_smoke_battery(tmp_path):
+    report = run_crash_smoke(str(tmp_path / "smoke-wal"), jobs=4, seed=7)
+    assert report["recovered_jobs"] == 4
+    assert report["deduplicated"] == 4
+    assert report["graceful_exit"] == 0
